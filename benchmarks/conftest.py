@@ -1,0 +1,39 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table or figure of the paper and prints the
+paper-style rows (captured with ``pytest benchmarks/ --benchmark-only -s``
+or visible in the benchmark logs).  Scaled parameters are used so the whole
+suite completes in minutes; EXPERIMENTS.md records the scaling and the
+measured-vs-paper comparison for each entry.
+"""
+
+import sys
+from pathlib import Path
+
+# Source-checkout fallback, mirroring tests/conftest.py.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro.core.config import MachineConfig
+
+
+@pytest.fixture
+def scaled_config():
+    """Scaled machine (32-set page-aligned space, 32-slot ring)."""
+    return MachineConfig().scaled_down()
+
+
+@pytest.fixture
+def bench_config():
+    """Paper-shaped machine (256 page-aligned sets, 256-slot ring)."""
+    return MachineConfig().bench_scale()
+
+
+def emit(result) -> None:
+    """Print a result's paper-style rows into the benchmark output."""
+    print()
+    for row in result.format_rows():
+        print(row)

@@ -1,0 +1,72 @@
+"""Ablation benches for the design points DESIGN.md calls out (§VI).
+
+Not figures in the paper, but quantifications of its mitigation
+discussion: ring size, randomization interval, DDIO allocation limit, and
+the probe-rate tuning sensitivity behind Table I.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import (
+    run_ddio_ways_ablation,
+    run_probe_rate_ablation,
+    run_randomization_interval_ablation,
+    run_ring_size_ablation,
+)
+
+
+def test_ablation_ring_size(benchmark, scaled_config):
+    result = benchmark.pedantic(
+        run_ring_size_ablation,
+        kwargs=dict(config=scaled_config, ring_sizes=(32, 64, 128)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    # Bigger ring -> fewer uniquely-mapped buffers (covert channel loses
+    # clean clock sets) and longer revisit latency after a lost packet.
+    assert result.unique_buffer_fraction[0] > result.unique_buffer_fraction[-1]
+    assert result.ring_revolution_seconds[-1] > result.ring_revolution_seconds[0]
+    assert result.mean_buffers_per_hot_set[-1] > result.mean_buffers_per_hot_set[0]
+
+
+def test_ablation_randomization_interval(benchmark, scaled_config):
+    result = benchmark.pedantic(
+        run_randomization_interval_ablation,
+        kwargs=dict(config=scaled_config, intervals=(0, 256, 16)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    # No randomization: the chase stays synced.
+    assert result.out_of_sync_rates[0] <= 0.05
+    # Aggressive shuffling wrecks synchronisation.
+    assert result.out_of_sync_rates[-1] > result.out_of_sync_rates[0] + 0.1
+
+
+def test_ablation_ddio_ways(benchmark, scaled_config):
+    result = benchmark.pedantic(
+        run_ddio_ways_ablation,
+        kwargs=dict(config=scaled_config, ways_sweep=(1, 2, 4), n_symbols=30),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    # The channel works at every realistic allocation limit.
+    assert max(result.error_rates) <= 0.25
+
+
+def test_ablation_probe_rate(benchmark, scaled_config):
+    result = benchmark.pedantic(
+        run_probe_rate_ablation,
+        kwargs=dict(
+            config=scaled_config,
+            probe_rates_hz=(2_000.0, 16_000.0),
+            n_samples=2500,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    # Probing far below the activation rate loses ordering; probing above
+    # it recovers the ring (the Table I tuning story).
+    assert result.error_rates[-1] < result.error_rates[0]

@@ -1,0 +1,18 @@
+"""Fig. 5 — buffer-to-set mapping of one driver initialisation.
+
+Paper: 256 buffers over 256 page-aligned sets; the mapping is visibly
+non-uniform (one set gets 5 buffers, many get none).
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_fig5
+
+
+def test_fig5_buffer_mapping(benchmark, bench_config):
+    result = benchmark.pedantic(run_fig5, args=(bench_config,), rounds=1, iterations=1)
+    emit(result)
+    assert result.n_page_aligned_sets == 256
+    assert result.n_buffers == 256
+    # Non-uniformity: some sets empty, some holding several buffers.
+    assert result.empty_sets > 0
+    assert result.max_buffers_on_one_set >= 3

@@ -1,0 +1,19 @@
+"""Fig. 6 — buffers-per-set histogram over many driver initialisations.
+
+Paper: ~35% of page-aligned sets host no buffer; >4 buffers on one set is
+rare (5 out of 1000 instances).
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_fig6
+
+
+def test_fig6_mapping_frequency(benchmark, bench_config):
+    result = benchmark.pedantic(
+        run_fig6, kwargs=dict(instances=120, config=bench_config), rounds=1, iterations=1
+    )
+    emit(result)
+    assert 0.25 <= result.fraction_empty() <= 0.45  # paper: ~0.35
+    # Heavy collisions are rare.
+    rare = sum(result.histogram.get(k, 0) for k in result.histogram if k > 4)
+    assert rare / result.instances < 2.0

@@ -1,0 +1,25 @@
+"""Fig. 7 — page-aligned set activity: idle vs receiving broadcast frames.
+
+Paper: the monitored sets are dark while idle and a clear subset lights up
+as soon as the remote sender starts (sets hosting no buffer stay dark).
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_fig7
+
+
+def test_fig7_receive_footprint(benchmark, scaled_config):
+    result = benchmark.pedantic(
+        run_fig7,
+        kwargs=dict(
+            config=scaled_config, n_samples=250, wait_cycles=20_000, huge_pages=4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    n = len(result.set_labels)
+    assert result.active_while_idle() <= n // 10
+    active = result.active_while_receiving()
+    assert active > n // 3  # buffer-hosting sets light up
+    assert active < n  # empty sets stay dark

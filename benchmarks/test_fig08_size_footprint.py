@@ -1,0 +1,28 @@
+"""Fig. 8 — cache footprint vs packet size (blocks 0..3).
+
+Paper: activity on the diagonal and above; the single exception is 1-block
+packets lighting block 1 because the driver prefetches the second block.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_fig8
+
+
+def test_fig8_size_footprint(benchmark, scaled_config):
+    result = benchmark.pedantic(
+        run_fig8,
+        kwargs=dict(config=scaled_config, n_samples=100, huge_pages=4, n_buffers=6),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    # Diagonal and above lights up.
+    for size in range(1, 5):
+        for block in range(size):
+            assert result.lit(block, size), f"block {block} dark for {size}-block"
+    # Below the diagonal stays dark...
+    assert not result.lit(2, 2)
+    assert not result.lit(3, 3)
+    # ...except the famous block-1 prefetch on 1-block packets.
+    assert result.lit(1, 1)
+    assert not result.lit(2, 1)

@@ -1,0 +1,49 @@
+"""Fig. 12 — multi-buffer capacity scaling and the full chasing channel.
+
+Paper: bandwidth roughly doubles per doubling of monitored buffers (to
+24.5 kbps at 16); with full chasing, out-of-sync stays roughly flat with
+send rate while the error rate jumps at 640 kbps when arrivals reorder.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_fig12_chase, run_fig12_multibuffer
+
+
+def test_fig12ab_multibuffer(benchmark, scaled_config):
+    result = benchmark.pedantic(
+        run_fig12_multibuffer,
+        kwargs=dict(
+            config=scaled_config,
+            buffer_counts=(1, 2, 4, 8),
+            n_symbols=48,
+            huge_pages=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    bw = [r.bandwidth_bps for r in result.reports]
+    for i in range(len(bw) - 1):
+        assert bw[i + 1] > 1.5 * bw[i]  # ~doubling per doubling
+    assert result.reports[0].error_rate <= 0.2
+
+
+def test_fig12cd_chase(benchmark, scaled_config):
+    result = benchmark.pedantic(
+        run_fig12_chase,
+        kwargs=dict(
+            config=scaled_config,
+            rates_kbps=(80.0, 160.0, 320.0, 640.0),
+            n_symbols=150,
+            huge_pages=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    errors = [r.error_rate for r in result.reports]
+    # Error low until the reorder knee, then a jump at 640 kbps.
+    assert max(errors[:3]) <= 0.05
+    assert errors[3] > max(errors[:3]) + 0.05
+    # Out-of-sync stays modest at every rate.
+    assert max(result.out_of_sync_rates) <= 0.15

@@ -1,0 +1,56 @@
+"""Fig. 13 + Section V accuracy — web fingerprinting.
+
+Fig. 13: original vs spy-recovered packet-size vectors for a successful
+and a failed hotcrp login (structurally distinct).  Accuracy: the 5-site
+closed world, with DDIO (paper 89.7%) and without (paper 86.5%).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.correlation import cross_correlation
+from repro.experiments import run_fig13_login, run_fingerprint_accuracy
+
+
+def test_fig13_login_traces(benchmark, scaled_config):
+    result = benchmark.pedantic(
+        run_fig13_login,
+        kwargs=dict(config=scaled_config, huge_pages=4, trace_length=80),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    # The recovery tracks the original trace...
+    assert (
+        cross_correlation(result.success_recovered, result.success_original) > 0.8
+    )
+    assert (
+        cross_correlation(result.failure_recovered, result.failure_original) > 0.8
+    )
+    # ...and the two login outcomes stay distinguishable after recovery.
+    self_score = cross_correlation(
+        result.success_recovered, result.success_original
+    )
+    cross_score = cross_correlation(
+        result.success_recovered, result.failure_original
+    )
+    assert self_score > cross_score
+
+
+def test_sectionV_fingerprint_accuracy(benchmark, scaled_config):
+    result = benchmark.pedantic(
+        run_fingerprint_accuracy,
+        kwargs=dict(
+            config=scaled_config,
+            train_loads=3,
+            trials_per_site=4,
+            huge_pages=4,
+            trace_length=80,
+            noise_pps=250,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    chance = 1 / len(result.sites)
+    assert result.accuracy_ddio > 3 * chance  # paper: 89.7%
+    assert result.accuracy_no_ddio > 2 * chance  # paper: 86.5%
+    assert result.accuracy_ddio >= result.accuracy_no_ddio

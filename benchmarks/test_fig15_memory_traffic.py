@@ -1,0 +1,32 @@
+"""Fig. 15 — normalised memory traffic + LLC miss rate per cache variant.
+
+Paper: DDIO and adaptive partitioning both cut DRAM traffic sharply vs the
+No-DDIO baseline, and the adaptive scheme's traffic stays within a few
+percent of DDIO's.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_fig15
+
+
+def test_fig15_memory_traffic(benchmark, scaled_config):
+    result = benchmark.pedantic(
+        run_fig15,
+        kwargs=dict(
+            config=scaled_config, copy_kb=512, tcp_packets=1000, nginx_requests=300
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    for workload in result.workloads:
+        ddio_r, ddio_w, ddio_m = result.normalised(workload, "ddio")
+        adapt_r, adapt_w, adapt_m = result.normalised(workload, "adaptive")
+        base_r, base_w, base_m = result.normalised(workload, "no-ddio")
+        # DDIO reduces traffic and miss rate vs No-DDIO.
+        assert ddio_r < base_r
+        assert ddio_w < base_w
+        assert ddio_m <= base_m
+        # The defense keeps most of DDIO's traffic benefit.
+        assert adapt_r <= base_r * 1.05
+        assert adapt_w <= base_w * 1.05

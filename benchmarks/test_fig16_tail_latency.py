@@ -1,0 +1,34 @@
+"""Fig. 16 — tail latency of the defense schemes under open-loop load.
+
+Paper: full ring randomization costs 41.8% at p99; adaptive partitioning
+3.1%; partial randomization sits in between, closer to baseline.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_fig16
+
+
+def test_fig16_tail_latency(benchmark, scaled_config):
+    result = benchmark.pedantic(
+        run_fig16,
+        kwargs=dict(
+            config=scaled_config,
+            n_requests=2500,
+            rate_rps=140_000,
+            partial_intervals=(1000, 10_000),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    full = result.p99_overhead_percent("full-random")
+    adaptive = result.p99_overhead_percent("adaptive")
+    partial_1k = result.p99_overhead_percent("partial-1000")
+    partial_10k = result.p99_overhead_percent("partial-10000")
+    # Full randomization is by far the costliest (paper: +41.8%).
+    assert full > 20.0
+    # Adaptive partitioning is cheap (paper: +3.1%).
+    assert adaptive < 10.0
+    # Partial randomization lands between baseline and full randomization.
+    assert partial_1k <= full
+    assert partial_10k <= partial_1k + 1.0

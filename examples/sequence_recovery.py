@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Recover the rx ring's fill order with Algorithm 1 (the SEQUENCER).
+
+A remote sender streams broadcast frames; the spy probes a window of
+page-aligned cache sets, builds the one-node-history successor graph, and
+walks it.  The result is compared against driver-instrumented ground truth
+with the paper's Table I metrics.
+
+Run:  python examples/sequence_recovery.py
+"""
+
+from repro.core.config import MachineConfig
+from repro.experiments.sequencing import run_table1
+
+
+def main() -> None:
+    print("running the SEQUENCER against a scaled machine "
+          "(16 monitored sets, 4000 samples)...")
+    result = run_table1(
+        MachineConfig().scaled_down(),
+        n_monitored=16,
+        n_samples=4000,
+        packet_rate=15_000,
+        probe_rate_hz=16_000,
+        huge_pages=4,
+    )
+    for row in result.format_rows():
+        print(row)
+    print()
+    print("ground truth :", result.truth)
+    print("recovered    :", result.recovered)
+    print()
+    if result.error_rate <= 0.15:
+        print("-> the ring order was recovered (rotations are equivalent);")
+        print("   duplicated set ids are two buffers sharing a cache set,")
+        print("   disambiguated by the graph's one-node history (Fig. 9).")
+    else:
+        print("-> noisy recovery; rerun or raise the probe rate "
+              "(see Table I's rate sensitivity).")
+
+
+if __name__ == "__main__":
+    main()

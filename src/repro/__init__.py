@@ -1,0 +1,54 @@
+"""Packet Chasing (ISCA 2020) — full-system reproduction in Python.
+
+This library reproduces Taram, Venkat and Tullsen's *Packet Chasing* attack
+and defenses end to end against a cycle-granular simulated machine:
+
+* :mod:`repro.core` — clock, events, configuration, machine assembly.
+* :mod:`repro.mem` — physical frames, address spaces (4 KB + huge pages).
+* :mod:`repro.cache` — sliced LLC with complex indexing and DDIO.
+* :mod:`repro.net` — frames, paced traffic sources, website traces.
+* :mod:`repro.nic` — rx ring, DMA engine, IGB driver receive path.
+* :mod:`repro.attack` — the paper's contribution: eviction sets,
+  PRIME+PROBE, ring discovery, the SEQUENCER, covert channels, web
+  fingerprinting.
+* :mod:`repro.defense` — ring-buffer randomization and adaptive I/O cache
+  partitioning.
+* :mod:`repro.perf` — workload models and load generation for the defense
+  evaluation.
+* :mod:`repro.analysis` — Levenshtein distance, LFSR bit sources,
+  correlation classification, channel metrics, confidence intervals.
+
+Quick start::
+
+    from repro import Machine
+    machine = Machine()
+    machine.install_nic()
+
+See ``examples/quickstart.py`` for a complete tour.
+"""
+
+from repro.core.config import (
+    CacheGeometry,
+    DDIOConfig,
+    LinkConfig,
+    MachineConfig,
+    ProcessorConfig,
+    RingConfig,
+    TimingParams,
+)
+from repro.core.machine import Machine, Process
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "Process",
+    "MachineConfig",
+    "CacheGeometry",
+    "DDIOConfig",
+    "LinkConfig",
+    "ProcessorConfig",
+    "RingConfig",
+    "TimingParams",
+    "__version__",
+]

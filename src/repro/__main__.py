@@ -1,0 +1,5 @@
+"""``python -m repro`` — run reproduction experiments from the shell."""
+
+from repro.cli import main
+
+raise SystemExit(main())

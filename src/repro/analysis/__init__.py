@@ -1,0 +1,44 @@
+"""Analysis utilities used by the attacks and the evaluation harness.
+
+* :mod:`repro.analysis.levenshtein` — edit distance, used by the paper to
+  score both the recovered ring sequence (Table I) and the covert channel's
+  bit error rate (Section IV).
+* :mod:`repro.analysis.lfsr` — the 15-bit maximal-length LFSR that produces
+  the pseudo-random test sequence (period 2^15 - 1) used to measure channel
+  capacity, following Liu et al.'s methodology.
+* :mod:`repro.analysis.correlation` — the cross-correlation classifier for
+  website fingerprinting (Section V).
+* :mod:`repro.analysis.stats` — means, confidence intervals, percentiles.
+* :mod:`repro.analysis.capacity` — bandwidth/error bookkeeping for covert
+  channels.
+"""
+
+from repro.analysis.capacity import ChannelReport, evaluate_channel
+from repro.analysis.correlation import CorrelationClassifier, cross_correlation
+from repro.analysis.levenshtein import (
+    cyclic_levenshtein,
+    error_rate,
+    levenshtein,
+    longest_mismatch_run,
+)
+from repro.analysis.lfsr import LFSR, lfsr_bits, lfsr_symbols
+from repro.analysis.stats import confidence_interval, mean, percentile, percentiles, stddev
+
+__all__ = [
+    "ChannelReport",
+    "evaluate_channel",
+    "CorrelationClassifier",
+    "cross_correlation",
+    "levenshtein",
+    "cyclic_levenshtein",
+    "error_rate",
+    "longest_mismatch_run",
+    "LFSR",
+    "lfsr_bits",
+    "lfsr_symbols",
+    "confidence_interval",
+    "mean",
+    "percentile",
+    "percentiles",
+    "stddev",
+]

@@ -1,0 +1,143 @@
+"""Levenshtein (edit) distance and sequence-quality metrics.
+
+The paper uses edit distance twice: Table I scores the recovered ring-buffer
+sequence against the instrumented ground truth, and Section IV estimates the
+covert channel's error rate by the edit distance between sent and received
+pseudo-random sequences.  ``cyclic_levenshtein`` handles the fact that a
+recovered *ring* has an arbitrary starting point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def levenshtein(a: Sequence, b: Sequence) -> int:
+    """Minimum number of single-element insertions, deletions and
+    substitutions that turn ``a`` into ``b``.
+
+    Classic dynamic program with two rolling rows: O(len(a) * len(b)) time,
+    O(min) space.
+    """
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, item_a in enumerate(a, start=1):
+        current = [i]
+        for j, item_b in enumerate(b, start=1):
+            cost = 0 if item_a == item_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion
+                    current[j - 1] + 1,  # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def cyclic_levenshtein(recovered: Sequence, truth: Sequence) -> int:
+    """Edit distance between a recovered ring and the true ring, minimised
+    over rotations (and reflection is *not* allowed — the ring has a
+    direction, packets fill it one way).
+
+    The recovered sequence starts at an arbitrary node (Algorithm 1 begins
+    its traversal at a random node), so we rotate the truth to the best
+    alignment before scoring.
+    """
+    if not truth:
+        return len(recovered)
+    best = None
+    doubled = list(truth) + list(truth)
+    n = len(truth)
+    # Anchor on the first recovered element to limit rotations tried.
+    anchors = [i for i in range(n) if doubled[i] == recovered[0]] if recovered else [0]
+    if not anchors:
+        anchors = range(n)
+    for start in anchors:
+        rotated = doubled[start : start + n]
+        distance = levenshtein(recovered, rotated)
+        if best is None or distance < best:
+            best = distance
+            if best == 0:
+                break
+    return best if best is not None else len(recovered)
+
+
+def best_rotation(recovered: Sequence, truth: Sequence) -> list:
+    """Rotate ``truth`` to the alignment with minimum edit distance.
+
+    Useful before positional metrics (like mismatch runs) since the
+    recovered ring starts at an arbitrary node.
+    """
+    if not truth:
+        return []
+    doubled = list(truth) + list(truth)
+    n = len(truth)
+    best_distance, best_start = None, 0
+    anchors = [i for i in range(n) if recovered and doubled[i] == recovered[0]]
+    for start in anchors or range(n):
+        distance = levenshtein(recovered, doubled[start : start + n])
+        if best_distance is None or distance < best_distance:
+            best_distance, best_start = distance, start
+            if distance == 0:
+                break
+    return doubled[best_start : best_start + n]
+
+
+def error_rate(recovered: Sequence, truth: Sequence, cyclic: bool = False) -> float:
+    """Edit distance normalised by the ground-truth length (Table I's
+    "Error Rate" row and the covert channel's bit error rate)."""
+    if not truth:
+        raise ValueError("truth sequence is empty")
+    distance = cyclic_levenshtein(recovered, truth) if cyclic else levenshtein(recovered, truth)
+    return distance / len(truth)
+
+
+def longest_mismatch_run(recovered: Sequence, truth: Sequence) -> int:
+    """Length of the longest run of positions where aligned sequences differ
+    (Table I's "Longest Mismatch").
+
+    Sequences are aligned with the standard edit-distance traceback; runs
+    are counted over the alignment, with insertions/deletions counting as
+    mismatching positions.
+    """
+    n, m = len(recovered), len(truth)
+    # Full DP table for traceback (sequences here are ring-sized, ~256).
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        dp[i][0] = i
+    for j in range(m + 1):
+        dp[0][j] = j
+    for i in range(1, n + 1):
+        row = dp[i]
+        prev = dp[i - 1]
+        ai = recovered[i - 1]
+        for j in range(1, m + 1):
+            cost = 0 if ai == truth[j - 1] else 1
+            row[j] = min(prev[j] + 1, row[j - 1] + 1, prev[j - 1] + cost)
+    # Traceback, collecting match/mismatch flags.
+    flags: list[bool] = []  # True = mismatch at this alignment column
+    i, j = n, m
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            cost = 0 if recovered[i - 1] == truth[j - 1] else 1
+            if dp[i][j] == dp[i - 1][j - 1] + cost:
+                flags.append(cost == 1)
+                i -= 1
+                j -= 1
+                continue
+        if i > 0 and dp[i][j] == dp[i - 1][j] + 1:
+            flags.append(True)
+            i -= 1
+        else:
+            flags.append(True)
+            j -= 1
+    longest = current = 0
+    for mismatched in flags:
+        current = current + 1 if mismatched else 0
+        longest = max(longest, current)
+    return longest

@@ -1,0 +1,85 @@
+"""Linear feedback shift register pseudo-random sequences.
+
+Following Liu et al. (cited by the paper for channel-capacity methodology),
+channel quality is measured by transmitting the maximal-length sequence of a
+15-bit LFSR — period 2^15 - 1, covering every 15-bit state except all-zeros
+— and edit-aligning what the spy received.  The structure of the sequence
+makes bit loss, duplication and swaps all visible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+#: Taps for maximal-length sequences, by register width (x^w + x^t + 1).
+_MAXIMAL_TAPS = {4: 3, 7: 6, 15: 14, 16: 15}
+
+
+class LFSR:
+    """Fibonacci LFSR with a two-tap maximal polynomial.
+
+    >>> lfsr = LFSR(width=15, seed=0x1)
+    >>> bits = [lfsr.next_bit() for _ in range(10)]
+    """
+
+    def __init__(self, width: int = 15, seed: int = 0x5A5A) -> None:
+        if width not in _MAXIMAL_TAPS:
+            raise ValueError(
+                f"no maximal polynomial configured for width {width}; "
+                f"available: {sorted(_MAXIMAL_TAPS)}"
+            )
+        self.width = width
+        self.mask = (1 << width) - 1
+        seed &= self.mask
+        if seed == 0:
+            raise ValueError("LFSR seed must be non-zero")
+        self.state = seed
+        self._tap = _MAXIMAL_TAPS[width]
+
+    @property
+    def period(self) -> int:
+        """Sequence period: 2^width - 1."""
+        return self.mask
+
+    def next_bit(self) -> int:
+        """Advance one step; returns the output bit (0/1)."""
+        new_bit = ((self.state >> (self.width - 1)) ^ (self.state >> (self._tap - 1))) & 1
+        self.state = ((self.state << 1) | new_bit) & self.mask
+        return new_bit
+
+    def bits(self, count: int) -> list[int]:
+        """The next ``count`` output bits."""
+        return [self.next_bit() for _ in range(count)]
+
+
+def lfsr_bits(count: int, width: int = 15, seed: int = 0x5A5A) -> list[int]:
+    """Convenience: ``count`` bits of a fresh maximal LFSR."""
+    return LFSR(width=width, seed=seed).bits(count)
+
+
+def lfsr_symbols(count: int, alphabet: int, width: int = 15, seed: int = 0x5A5A) -> list[int]:
+    """Pseudo-random symbols in ``range(alphabet)`` built from LFSR bits.
+
+    For the ternary covert channel the paper sends base-3 symbols; we pack
+    two LFSR bits per draw and reject the out-of-range code so the symbol
+    stream stays balanced and reproducible.
+    """
+    if alphabet < 2:
+        raise ValueError(f"alphabet must be >= 2, got {alphabet}")
+    bits_per = max(1, (alphabet - 1).bit_length())
+    lfsr = LFSR(width=width, seed=seed)
+    symbols: list[int] = []
+    while len(symbols) < count:
+        value = 0
+        for _ in range(bits_per):
+            value = (value << 1) | lfsr.next_bit()
+        if value < alphabet:
+            symbols.append(value)
+    return symbols
+
+
+def bit_iter(width: int = 15, seed: int = 0x5A5A) -> Iterator[int]:
+    """Infinite iterator over LFSR output bits."""
+    lfsr = LFSR(width=width, seed=seed)
+    while True:
+        yield lfsr.next_bit()

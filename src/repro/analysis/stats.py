@@ -1,0 +1,71 @@
+"""Small statistics helpers: means, confidence intervals, percentiles.
+
+Table I reports measured values with confidence intervals; Fig. 16 reports
+tail-latency percentiles up to p99.99.  Implemented directly (normal-theory
+CI and the nearest-rank percentile) to keep the dependency surface small.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Two-sided z value for 95% coverage.
+_Z95 = 1.959963984540054
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); zero for fewer than two points."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (n - 1))
+
+
+def confidence_interval(
+    values: Sequence[float], z: float = _Z95
+) -> tuple[float, float, float]:
+    """(mean, low, high) normal-theory confidence interval."""
+    if not values:
+        raise ValueError("confidence interval of empty sequence")
+    mu = mean(values)
+    half = z * stddev(values) / math.sqrt(len(values))
+    return mu, mu - half, mu + half
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile, ``p`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= p <= 100:
+        raise ValueError(f"p must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    if p == 0:
+        return ordered[0]
+    rank = math.ceil(p / 100 * len(ordered))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def percentiles(values: Sequence[float], points: Sequence[float]) -> dict[float, float]:
+    """Several percentiles of the same sample, sorted once."""
+    if not values:
+        raise ValueError("percentiles of empty sequence")
+    ordered = sorted(values)
+    out: dict[float, float] = {}
+    for p in points:
+        if not 0 <= p <= 100:
+            raise ValueError(f"p must be in [0, 100], got {p}")
+        if p == 0:
+            out[p] = ordered[0]
+        else:
+            rank = math.ceil(p / 100 * len(ordered))
+            out[p] = ordered[min(rank, len(ordered)) - 1]
+    return out

@@ -1,0 +1,44 @@
+"""The Packet Chasing attack: everything the spy process does.
+
+The attacker is an unprivileged process with **no network access**.  All it
+can do is map memory, access it, and time those accesses.  From that alone
+(Sections III-V of the paper) it:
+
+1. calibrates a hit/miss latency threshold
+   (:mod:`repro.attack.timing`);
+2. builds eviction sets for the 256 page-aligned cache sets where rx
+   buffers can start (:mod:`repro.attack.evictionset`);
+3. PRIME+PROBEs them to find which sets actually host ring buffers and to
+   observe packet arrivals and sizes
+   (:mod:`repro.attack.primeprobe`, :mod:`repro.attack.discovery`);
+4. recovers the ring's fill *order* with the SEQUENCER algorithm
+   (:mod:`repro.attack.sequencer`);
+5. chases packets buffer-to-buffer (:mod:`repro.attack.chase`);
+6. mounts the remote covert channel (:mod:`repro.attack.covert`) and the
+   web-fingerprinting side channel (:mod:`repro.attack.fingerprint`).
+"""
+
+from repro.attack.chase import BufferMonitor, PacketChaser
+from repro.attack.discovery import RingDiscovery
+from repro.attack.evictionset import (
+    EvictionSet,
+    EvictionSetBuilder,
+    OracleEvictionSetBuilder,
+)
+from repro.attack.primeprobe import ProbeMonitor
+from repro.attack.sequencer import Sequencer, SequencerConfig
+from repro.attack.timing import LatencyThreshold, calibrate_threshold
+
+__all__ = [
+    "BufferMonitor",
+    "PacketChaser",
+    "RingDiscovery",
+    "EvictionSet",
+    "EvictionSetBuilder",
+    "OracleEvictionSetBuilder",
+    "ProbeMonitor",
+    "Sequencer",
+    "SequencerConfig",
+    "LatencyThreshold",
+    "calibrate_threshold",
+]

@@ -1,0 +1,181 @@
+"""Packet chasing: following the ring buffer-to-buffer.
+
+Once the spy knows (a) which cache sets host each buffer and (b) the order
+in which buffers fill (:mod:`repro.attack.sequencer`), it stops scanning
+256 sets and instead probes *only the next expected buffer* — the paper's
+eponymous technique.  Each detected fill also reveals the packet's size in
+cache-block granularity by probing the buffer's subsequent blocks, on both
+page halves (the driver flips halves for large packets, Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attack.evictionset import EvictionSet
+
+
+@dataclass
+class BufferMonitor:
+    """Probe-ready eviction sets for one rx buffer.
+
+    ``blocks`` maps block number (0..3) to the eviction set covering that
+    block in the *first* half-page; ``alt_blocks`` covers the second half
+    (offset +2048), which the driver switches to after handing a large
+    packet's half to the stack.
+    """
+
+    name: str
+    blocks: dict[int, EvictionSet]
+    alt_blocks: dict[int, EvictionSet] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if 0 not in self.blocks:
+            raise ValueError("BufferMonitor requires at least the block-0 set")
+
+    def prime(self) -> None:
+        for es in self.blocks.values():
+            es.prime()
+        for es in self.alt_blocks.values():
+            es.prime()
+
+    def clock_active(self) -> bool:
+        """Probe block 0 of both halves; True if either saw a miss."""
+        active = self.blocks[0].probe() > 0
+        if 0 in self.alt_blocks:
+            active = (self.alt_blocks[0].probe() > 0) or active
+        return active
+
+    def read_size(self, cap: int = 4) -> int:
+        """Packet size in blocks (1..cap), read from whichever half fired.
+
+        Block 1 is ignored for sizing (the driver prefetches it for every
+        packet), so sizes are 1, 3, 4... distinguished by blocks 2 and 3 —
+        matching what the paper's spy can actually resolve.
+        """
+        size = 1
+        halves = [self.blocks]
+        if self.alt_blocks:
+            halves.append(self.alt_blocks)
+        for half in halves:
+            half_size = 1
+            for k in sorted(half):
+                if k == 0:
+                    continue
+                if half[k].probe() > 0:
+                    half_size = k + 1
+            size = max(size, half_size)
+        return min(size, cap)
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a chasing session."""
+
+    sizes: list[int]
+    times: list[int]
+    misses: int  # timeouts where the expected buffer never fired
+    resyncs: int
+    #: Miss count at the moment of the final successful detection — misses
+    #: after that are just idle waiting once traffic stopped, and should not
+    #: count against synchronisation quality.
+    misses_while_active: int = 0
+
+    @property
+    def packets_seen(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def out_of_sync_rate(self) -> float:
+        total = self.packets_seen + self.misses_while_active
+        return self.misses_while_active / total if total else 0.0
+
+
+class PacketChaser:
+    """Follows the recovered buffer sequence, one buffer at a time."""
+
+    def __init__(self, process, buffers: list[BufferMonitor], start: int = 0) -> None:
+        if not buffers:
+            raise ValueError("no buffer monitors supplied")
+        self.process = process
+        self.buffers = list(buffers)
+        self.position = start % len(buffers)
+
+    def prime_all(self) -> None:
+        for monitor in self.buffers:
+            monitor.prime()
+
+    def wait_for_fill(
+        self, monitor: BufferMonitor, timeout_cycles: int, poll_wait: int = 0
+    ) -> bool:
+        """Poll a buffer's clock set until it fires or timeout elapses."""
+        machine = self.process.machine
+        deadline = machine.clock.now + timeout_cycles
+        while machine.clock.now < deadline:
+            if monitor.clock_active():
+                return True
+            if poll_wait:
+                machine.idle(poll_wait)
+        return False
+
+    def chase(
+        self,
+        n_packets: int,
+        timeout_cycles: int,
+        poll_wait: int = 0,
+        size_cap: int = 4,
+        size_wait: int = 0,
+        prime: bool = True,
+    ) -> ChaseResult:
+        """Chase ``n_packets`` fills through the ring.
+
+        On a timeout the chaser has lost the packet: it counts a miss and
+        keeps waiting on the same buffer (the paper: "it has to wait until
+        completion of the whole ring, or the next time a packet fills that
+        buffer, to get synchronized again").
+        """
+        machine = self.process.machine
+        if prime:
+            self.prime_all()
+        sizes: list[int] = []
+        times: list[int] = []
+        misses = 0
+        misses_at_last_hit = 0
+        resyncs = 0
+        out_of_sync = False
+        give_up = n_packets + 4 * len(self.buffers)
+        while len(sizes) < n_packets:
+            monitor = self.buffers[self.position]
+            if self.wait_for_fill(monitor, timeout_cycles, poll_wait):
+                if out_of_sync:
+                    resyncs += 1
+                    out_of_sync = False
+                times.append(machine.clock.now)
+                if size_wait:
+                    # Without DDIO the payload enters the cache only when
+                    # the stack touches it; the spy must delay its size read
+                    # (and eat the extra noise that entails).
+                    machine.idle(size_wait)
+                sizes.append(monitor.read_size(cap=size_cap))
+                misses_at_last_hit = misses
+                self.position = (self.position + 1) % len(self.buffers)
+                # Re-prime the next expected buffer: its sets were last
+                # probed a full ring cycle ago and may hold stale I/O lines;
+                # once a set holds two, further DDIO fills evict I/O lines
+                # and become invisible.  Priming now flushes them so the
+                # upcoming fill must displace one of our lines.
+                self.buffers[self.position].prime()
+            else:
+                misses += 1
+                if not out_of_sync:
+                    out_of_sync = True
+                # Stay on this buffer: the next fill of it re-synchronises.
+                if misses > give_up:
+                    break  # give up: traffic has evidently stopped
+        return ChaseResult(
+            sizes=sizes,
+            times=times,
+            misses=misses,
+            resyncs=resyncs,
+            misses_while_active=misses_at_last_hit,
+        )

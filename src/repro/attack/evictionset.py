@@ -1,0 +1,318 @@
+"""Eviction-set construction — the attacker's basic instrument.
+
+An *eviction set* for a cache set is ``ways`` attacker-owned addresses that
+all map to it; traversing the set replaces every other line there.  The spy
+allocates **huge pages**, so it knows set-index bits of its own addresses
+(bits 6..16 lie inside the 2 MB page), but the slice each address lands in
+is decided by the undocumented hash — that part must be resolved by timing.
+
+:class:`EvictionSetBuilder` does it the way real attacks do:
+
+* ``reduce`` — group-testing reduction (Vila et al. style): shrink a pool
+  that evicts a victim address down to a minimal ``ways``-element core.
+* ``cluster_index`` — repeatedly reduce + classify-conflicts to split all
+  candidate addresses of one set index into its per-slice conflict groups,
+  giving one eviction set per (set index, slice).
+
+Page-aligned buffers can only start in ``sets_per_slice / 64`` indices per
+slice (the low 6 index bits are zero — Fig. 2 of the paper), i.e. 256 cache
+sets total on the paper's machine: :func:`page_aligned_set_indices`.
+
+:class:`OracleEvictionSetBuilder` produces identical grouping using
+simulator introspection at zero simulated cost — used by experiments whose
+subject is *not* eviction-set construction (e.g. channel capacity sweeps),
+as recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.attack.timing import LatencyThreshold
+
+
+def page_aligned_set_indices(geometry, page_size: int = 4096) -> list[int]:
+    """Set indices a page-aligned address can map to (multiples of 64)."""
+    step = page_size // geometry.line_size
+    if step >= geometry.sets_per_slice:
+        return [0]
+    return list(range(0, geometry.sets_per_slice, step))
+
+
+class EvictionSet:
+    """A probe-ready set of attacker addresses mapping to one cache set.
+
+    ``probe`` traverses the addresses in the reverse of the previous
+    traversal (the classic zig-zag), which both measures interference since
+    the last probe and re-primes the set for the next one.
+    """
+
+    def __init__(
+        self,
+        process,
+        addrs: list[int],
+        threshold: LatencyThreshold,
+        set_index: int | None = None,
+        label: str = "",
+    ) -> None:
+        if not addrs:
+            raise ValueError("eviction set needs at least one address")
+        self.process = process
+        self.addrs = list(addrs)
+        self.threshold = threshold
+        self.set_index = set_index
+        self.label = label
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EvictionSet({self.label or self.set_index}, n={len(self.addrs)})"
+
+    def prime(self) -> None:
+        """Fill the cache set with our lines (untimed traversal)."""
+        access = self.process.access
+        for addr in self.addrs:
+            access(addr)
+
+    def probe(self) -> int:
+        """Timed zig-zag traversal; returns the number of misses seen."""
+        timed = self.process.timed_access
+        is_miss = self.threshold.is_miss
+        misses = 0
+        for addr in reversed(self.addrs):
+            if is_miss(timed(addr)):
+                misses += 1
+        self.addrs.reverse()
+        return misses
+
+    def probe_fast(self) -> int:
+        """Probe without per-access timer overhead (one fence per set).
+
+        Models an attacker timing the whole traversal instead of each load;
+        returns misses inferred from aggregate latency.
+        """
+        access = self.process.access
+        hit_latency = self.process.machine.llc.timing.llc_hit_latency
+        miss_latency = self.process.machine.llc.timing.llc_miss_latency
+        total = 0
+        for addr in reversed(self.addrs):
+            total += access(addr)
+        self.addrs.reverse()
+        self.process.machine.clock.advance(self.process.machine.llc.timing.measure_overhead)
+        baseline = hit_latency * len(self.addrs)
+        return max(0, round((total - baseline) / (miss_latency - hit_latency)))
+
+
+class EvictionSetBuilder:
+    """Timing-only construction of eviction sets from huge-page memory."""
+
+    def __init__(
+        self,
+        process,
+        threshold: LatencyThreshold,
+        huge_pages: int = 16,
+        ways: int | None = None,
+    ) -> None:
+        self.process = process
+        machine = process.machine
+        self.geometry = machine.llc.geometry
+        self.ways = ways or self.geometry.ways
+        self.threshold = threshold
+        self.huge_page_bytes = 2 * 1024 * 1024
+        self.n_huge_pages = huge_pages
+        self.base = process.mmap_huge(huge_pages)
+        self._line = self.geometry.line_size
+        self._index_span = self.geometry.sets_per_slice * self._line
+
+    # ------------------------------------------------------------------
+    # Candidates
+    # ------------------------------------------------------------------
+    def candidates(self, set_index: int, limit: int | None = None) -> list[int]:
+        """All addresses in our huge pages with the given set index."""
+        if not 0 <= set_index < self.geometry.sets_per_slice:
+            raise ValueError(f"set_index {set_index} out of range")
+        total = self.n_huge_pages * self.huge_page_bytes
+        out = []
+        offset = set_index * self._line
+        while offset < total:
+            out.append(self.base + offset)
+            offset += self._index_span
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    # Timing primitives
+    # ------------------------------------------------------------------
+    def evicts(self, addrs: list[int], victim: int) -> bool:
+        """Does traversing ``addrs`` evict ``victim``?  (access, traverse,
+        time the re-access)."""
+        process = self.process
+        process.access(victim)
+        for addr in addrs:
+            process.access(addr)
+        return self.threshold.is_miss(process.timed_access(victim))
+
+    def reduce(self, pool: list[int], victim: int) -> list[int] | None:
+        """Group-testing reduction to a minimal eviction set for ``victim``.
+
+        Returns ``ways`` addresses that conflict with ``victim``, or None if
+        the pool doesn't contain enough same-set addresses.
+        """
+        working = list(pool)
+        if not self.evicts(working, victim):
+            return None
+        while len(working) > self.ways:
+            n_chunks = self.ways + 1
+            chunk_size = -(-len(working) // n_chunks)
+            for start in range(0, len(working), chunk_size):
+                trial = working[:start] + working[start + chunk_size:]
+                if trial and self.evicts(trial, victim):
+                    working = trial
+                    break
+            else:
+                # No chunk removable: pool has barely more than `ways`
+                # same-set members spread across every chunk.  Fall back to
+                # one-at-a-time removal.
+                reduced = False
+                for i in range(len(working)):
+                    trial = working[:i] + working[i + 1:]
+                    if trial and self.evicts(trial, victim):
+                        working = trial
+                        reduced = True
+                        break
+                if not reduced:
+                    return None
+        return working if self.evicts(working, victim) else None
+
+    def conflicts(self, es: EvictionSet, addr: int) -> bool:
+        """Does ``addr`` map to the same cache set as ``es``?"""
+        es.prime()
+        self.process.access(addr)
+        return es.probe() > 0
+
+    # ------------------------------------------------------------------
+    # Clustering
+    # ------------------------------------------------------------------
+    def cluster_index(
+        self, set_index: int, n_groups: int | None = None
+    ) -> list[EvictionSet]:
+        """Split one set index's candidates into per-slice conflict groups.
+
+        Returns up to ``n_groups`` (default: slice count) eviction sets.
+        Group order is arbitrary — the attacker cannot name slices, only
+        distinguish them.
+        """
+        n_groups = n_groups or self.geometry.n_slices
+        remaining = self.candidates(set_index)
+        groups: list[EvictionSet] = []
+        while remaining and len(groups) < n_groups:
+            victim = remaining.pop(0)
+            core = self.reduce(remaining, victim)
+            if core is None:
+                continue
+            es = EvictionSet(
+                self.process,
+                core,
+                self.threshold,
+                set_index=set_index,
+                label=f"idx{set_index}.g{len(groups)}",
+            )
+            core_set = set(core)
+            keep = []
+            for addr in remaining:
+                if addr in core_set:
+                    continue
+                if not self.conflicts(es, addr):
+                    keep.append(addr)
+            remaining = keep
+            groups.append(es)
+        return groups
+
+    def build_page_aligned_groups(
+        self, block: int = 0, page_size: int = 4096
+    ) -> list[EvictionSet]:
+        """Eviction sets for every (page-aligned set index + block, slice).
+
+        ``block`` shifts the target from buffer block 0 to block ``k`` (the
+        paper constructs these to read packet *sizes*).
+        """
+        groups: list[EvictionSet] = []
+        for index in page_aligned_set_indices(self.geometry, page_size):
+            target = (index + block) % self.geometry.sets_per_slice
+            groups.extend(self.cluster_index(target))
+        return groups
+
+
+class OracleEvictionSetBuilder:
+    """Eviction sets grouped by simulator ground truth (zero probe cost).
+
+    The returned sets are *real* attacker addresses in the simulated cache —
+    only the grouping labour is skipped.  ``label`` encodes the true
+    (slice, set) for experiment bookkeeping.
+    """
+
+    def __init__(
+        self,
+        process,
+        threshold: LatencyThreshold,
+        huge_pages: int = 16,
+        ways: int | None = None,
+    ) -> None:
+        self.process = process
+        machine = process.machine
+        self.llc = machine.llc
+        self.geometry = machine.llc.geometry
+        self.ways = ways or self.geometry.ways
+        self.threshold = threshold
+        self.huge_page_bytes = 2 * 1024 * 1024
+        self.n_huge_pages = huge_pages
+        self.base = process.mmap_huge(huge_pages)
+        self._line = self.geometry.line_size
+        self._index_span = self.geometry.sets_per_slice * self._line
+
+    def groups_for_index(self, set_index: int) -> dict[int, EvictionSet]:
+        """slice id -> eviction set, for one set index."""
+        by_slice: dict[int, list[int]] = defaultdict(list)
+        total = self.n_huge_pages * self.huge_page_bytes
+        offset = set_index * self._line
+        translate = self.process.addrspace.translate
+        while offset < total:
+            vaddr = self.base + offset
+            paddr = translate(vaddr)
+            by_slice[self.llc.slice_of(paddr)].append(vaddr)
+            offset += self._index_span
+        out: dict[int, EvictionSet] = {}
+        for slice_id, addrs in sorted(by_slice.items()):
+            if len(addrs) < self.ways:
+                continue
+            out[slice_id] = EvictionSet(
+                self.process,
+                addrs[: self.ways],
+                self.threshold,
+                set_index=set_index,
+                label=f"idx{set_index}.s{slice_id}",
+            )
+        return out
+
+    def group_for(self, set_index: int, slice_id: int) -> EvictionSet:
+        """The eviction set covering one exact (set index, slice)."""
+        groups = self.groups_for_index(set_index)
+        try:
+            return groups[slice_id]
+        except KeyError:
+            raise RuntimeError(
+                f"not enough huge-page candidates for idx {set_index} "
+                f"slice {slice_id}; map more huge pages"
+            ) from None
+
+    def build_page_aligned_groups(
+        self, block: int = 0, page_size: int = 4096
+    ) -> list[EvictionSet]:
+        """Oracle-grouped counterpart of the timing-based bulk builder."""
+        groups: list[EvictionSet] = []
+        for index in page_aligned_set_indices(self.geometry, page_size):
+            target = (index + block) % self.geometry.sets_per_slice
+            groups.extend(self.groups_for_index(target).values())
+        return groups

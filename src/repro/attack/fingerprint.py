@@ -1,0 +1,132 @@
+"""Web fingerprinting over packet sizes (Section V of the paper).
+
+The spy chases the ring while a co-located victim's browser loads a page;
+the sequence of detected packet sizes (in cache-block granularity, capped
+at "4 or more") fingerprints the page.  Offline, the attacker records
+training loads per site and averages them into representatives; online, a
+cross-correlation classifier picks the site (89.7% accuracy with DDIO,
+86.5% without, over the paper's five-site closed world).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.analysis.correlation import CorrelationClassifier
+from repro.attack.chase import PacketChaser
+from repro.net.traffic import TraceReplay
+from repro.net.websites import WebsiteCorpus, WebsiteProfile
+
+
+@dataclass
+class CaptureConfig:
+    """Knobs for one trace capture."""
+
+    trace_length: int = 100
+    timeout_cycles: int = 4_000_000
+    poll_wait: int = 12_000
+    #: Extra wait before reading sizes — needed without DDIO, where the
+    #: payload enters the cache well after the header (Section IV-d).
+    size_wait: int = 0
+    #: Idle gap between consecutive loads (lets in-flight events settle).
+    inter_load_gap: int = 2_000_000
+
+
+class TraceCollector:
+    """Captures packet-size traces by chasing the ring during page loads."""
+
+    def __init__(self, machine, chaser: PacketChaser, config: CaptureConfig) -> None:
+        self.machine = machine
+        self.chaser = chaser
+        self.config = config
+
+    def capture_load(self, load_trace: list[tuple[float, int]]) -> list[int]:
+        """Replay one page load and return the detected block-size vector.
+
+        The spy chases the *entire* load (it monitors continuously, so it
+        stays synchronised for the next one) and the fingerprint keeps the
+        first ``trace_length`` sizes, like the paper's first-100-packets
+        vectors.
+        """
+        source = TraceReplay(load_trace, protocol="tcp")
+        source.attach(self.machine, self.machine.nic)
+        result = self.chaser.chase(
+            len(load_trace),
+            timeout_cycles=self.config.timeout_cycles,
+            poll_wait=self.config.poll_wait,
+            size_wait=self.config.size_wait,
+        )
+        source.stop()
+        self.machine.idle(self.config.inter_load_gap)
+        return result.sizes[: self.config.trace_length]
+
+
+class WebFingerprintAttack:
+    """The full offline + online pipeline over a website corpus."""
+
+    def __init__(
+        self,
+        collector: TraceCollector,
+        corpus: WebsiteCorpus,
+        rng: random.Random | None = None,
+        max_lag: int = 8,
+    ) -> None:
+        self.collector = collector
+        self.corpus = corpus
+        self.rng = rng or random.Random(42)
+        self.classifier = CorrelationClassifier(
+            trace_length=collector.config.trace_length, max_lag=max_lag
+        )
+        self._trained = False
+
+    def _capture_site(self, profile: WebsiteProfile) -> list[int]:
+        return self.collector.capture_load(profile.sample(self.rng))
+
+    def train(self, loads_per_site: int = 4) -> None:
+        """Offline phase: build one representative per site."""
+        if loads_per_site < 1:
+            raise ValueError("need at least one training load per site")
+        training: dict[str, list[list[int]]] = {}
+        for profile in self.corpus:
+            training[profile.name] = [
+                self._capture_site(profile) for _ in range(loads_per_site)
+            ]
+        self.classifier.fit(training)
+        self._trained = True
+
+    def classify_one(self, site: str) -> str:
+        """Simulate one victim load of ``site`` and classify the capture."""
+        if not self._trained:
+            raise RuntimeError("attack not trained; call train() first")
+        trace = self._capture_site(self.corpus.get(site))
+        return self.classifier.classify(trace)
+
+    def evaluate(self, trials_per_site: int = 4) -> float:
+        """Closed-world accuracy over ``trials_per_site`` loads per site."""
+        if not self._trained:
+            raise RuntimeError("attack not trained; call train() first")
+        correct = 0
+        total = 0
+        for profile in self.corpus:
+            for _ in range(trials_per_site):
+                total += 1
+                if self.classify_one(profile.name) == profile.name:
+                    correct += 1
+        return correct / total if total else 0.0
+
+
+def recovered_vs_original(
+    collector: TraceCollector,
+    load_trace: list[tuple[float, int]],
+    line_size: int = 64,
+    cap: int = 4,
+) -> tuple[list[int], list[int]]:
+    """The Fig. 13 comparison: true block sizes vs what the spy recovered.
+
+    Returns ``(original, recovered)`` block-size vectors for one load.
+    """
+    original = [min(cap, -(-size // line_size)) for _gap, size in load_trace]
+    recovered = collector.capture_load(load_trace)
+    n = min(len(original), collector.config.trace_length)
+    return original[:n], recovered

@@ -1,0 +1,75 @@
+"""Experiment-side ground truth helpers (driver instrumentation).
+
+The paper validates the recovered sequence against "the ground truth actual
+sequence that we get from driver instrumentation".  These helpers play that
+role: they read the simulator's true state (ring order, physical addresses,
+the LLC hash).  **Nothing here is available to the attacker** — it is used
+only to score attacks in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.attack.evictionset import EvictionSet
+
+
+def flat_set_of_eviction_set(process, es: EvictionSet) -> int:
+    """True flat cache-set id an eviction set targets."""
+    paddr = process.addrspace.translate(es.addrs[0])
+    return process.machine.llc.flat_set_of(paddr)
+
+
+def group_map(process, groups: list[EvictionSet]) -> dict[int, int]:
+    """flat set id -> index into ``groups``."""
+    return {flat_set_of_eviction_set(process, es): i for i, es in enumerate(groups)}
+
+
+def buffer_flat_sets(machine) -> list[int]:
+    """Flat set id of each ring buffer's block 0, in ring order from head."""
+    ring = machine.ring
+    if ring is None:
+        raise RuntimeError("machine has no NIC installed")
+    ordered = ring.buffers[ring.head:] + ring.buffers[: ring.head]
+    return [machine.llc.flat_set_of(b.dma_paddr) for b in ordered]
+
+
+def true_group_sequence(
+    machine,
+    process,
+    groups: list[EvictionSet],
+    collapse_repeats: bool = True,
+) -> list[int]:
+    """Ground-truth fill sequence restricted to the monitored groups.
+
+    Returns group indices in the order the ring fills them.  Consecutive
+    duplicates are collapsed by default because Algorithm 1's graph drops
+    self-loops (two adjacent buffers sharing a set merge into one node —
+    the paper notes this explicitly).
+    """
+    mapping = group_map(process, groups)
+    sequence: list[int] = []
+    for flat in buffer_flat_sets(machine):
+        group = mapping.get(flat)
+        if group is None:
+            continue
+        if collapse_repeats and sequence and sequence[-1] == group:
+            continue
+        sequence.append(group)
+    if (
+        collapse_repeats
+        and len(sequence) > 1
+        and sequence[0] == sequence[-1]
+    ):
+        sequence.pop()  # the ring wraps: first == last is the same node
+    return sequence
+
+
+def buffers_per_page_aligned_set(machine) -> dict[int, int]:
+    """flat set id -> number of ring buffers whose block 0 maps there.
+
+    The Fig. 5 / Fig. 6 ground truth ("we instrument the driver code to
+    print the physical addresses of the ring buffers").
+    """
+    counts: dict[int, int] = {}
+    for flat in buffer_flat_sets(machine):
+        counts[flat] = counts.get(flat, 0) + 1
+    return counts

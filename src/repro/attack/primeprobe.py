@@ -1,0 +1,112 @@
+"""PRIME+PROBE monitoring over a list of eviction sets.
+
+This is the Mastik-equivalent layer: given eviction sets for the cache sets
+of interest, ``sample`` runs the PRIME - IDLE - PROBE loop and returns an
+activity matrix (samples x sets of miss counts).  The probe *rate* — how
+long the idle step waits — is the paper's central tuning knob: it must be
+long enough that one packet's activity lands in one sample, and short
+enough not to lose the temporal order of consecutive packets (Table I's
+parameters: 8000 probes/s against 0.2 M packets/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attack.evictionset import EvictionSet
+
+
+@dataclass
+class SampleTrace:
+    """Result of a monitoring session."""
+
+    #: samples[i][j] = misses observed in probe i on monitored set j.
+    samples: list[list[int]]
+    #: Simulated time at the start of each probe sweep.
+    times: list[int]
+    set_labels: list[str]
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.samples)
+
+    @property
+    def n_sets(self) -> int:
+        return len(self.set_labels)
+
+    def activity_counts(self) -> list[int]:
+        """Per-set count of samples with at least one miss."""
+        counts = [0] * self.n_sets
+        for row in self.samples:
+            for j, misses in enumerate(row):
+                if misses:
+                    counts[j] += 1
+        return counts
+
+    def activity_fraction(self) -> list[float]:
+        """Per-set fraction of active samples."""
+        if not self.samples:
+            return [0.0] * self.n_sets
+        return [c / self.n_samples for c in self.activity_counts()]
+
+
+class ProbeMonitor:
+    """Prime+probe driver over a fixed monitor list."""
+
+    def __init__(self, process, eviction_sets: list[EvictionSet]) -> None:
+        if not eviction_sets:
+            raise ValueError("monitor list is empty")
+        self.process = process
+        self.sets = list(eviction_sets)
+
+    def __len__(self) -> int:
+        return len(self.sets)
+
+    def prime(self) -> None:
+        """Initial fill of every monitored set."""
+        for es in self.sets:
+            es.prime()
+
+    def probe_once(self) -> list[int]:
+        """One sweep over all monitored sets; returns per-set miss counts."""
+        return [es.probe() for es in self.sets]
+
+    def sample(
+        self,
+        n_samples: int,
+        wait_cycles: int = 0,
+        fast_probe: bool = False,
+    ) -> SampleTrace:
+        """Run the PRIME - IDLE(wait_cycles) - PROBE loop ``n_samples`` times.
+
+        ``fast_probe`` uses aggregate-latency probing (one timer read per
+        set instead of per access), roughly tripling the probe rate.
+        """
+        if n_samples <= 0:
+            raise ValueError(f"n_samples must be positive, got {n_samples}")
+        machine = self.process.machine
+        self.prime()
+        samples: list[list[int]] = []
+        times: list[int] = []
+        for _ in range(n_samples):
+            if wait_cycles:
+                machine.idle(wait_cycles)
+            times.append(machine.clock.now)
+            if fast_probe:
+                samples.append([es.probe_fast() for es in self.sets])
+            else:
+                samples.append([es.probe() for es in self.sets])
+        return SampleTrace(
+            samples=samples,
+            times=times,
+            set_labels=[es.label or str(es.set_index) for es in self.sets],
+        )
+
+    def probe_duration_estimate(self) -> int:
+        """Cycles one full probe sweep takes, assuming all hits.
+
+        Useful for choosing ``wait_cycles`` to hit a target probe rate.
+        """
+        timing = self.process.machine.llc.timing
+        per_access = timing.llc_hit_latency + timing.measure_overhead
+        return sum(len(es) for es in self.sets) * per_access

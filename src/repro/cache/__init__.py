@@ -1,0 +1,37 @@
+"""Last-level cache model: slices, complex indexing, DDIO, partitioning.
+
+This is the substrate the whole attack runs on.  It models the parts of an
+Intel server LLC that the paper's analysis depends on:
+
+* physically-indexed, set-associative, **sliced** organisation with the
+  complex (XOR) slice-selection hash of Fig. 2
+  (:mod:`repro.cache.slicehash`);
+* LRU-ordered sets with per-line origin (CPU vs I/O) and dirty state
+  (:mod:`repro.cache.cacheset`);
+* **DDIO** write allocation — inbound DMA allocates in the LLC, limited to
+  two ways per set but still able to evict CPU lines
+  (:meth:`repro.cache.llc.SlicedLLC.io_write`);
+* the paper's **adaptive I/O partitioning** defense hooks (the partition
+  object lives in :mod:`repro.defense.partitioning` and plugs in here);
+* a small L1+LLC hierarchy used by the performance model
+  (:mod:`repro.cache.hierarchy`).
+"""
+
+from repro.cache.cacheset import CacheSet, LINE_DIRTY, LINE_IO
+from repro.cache.hierarchy import CacheHierarchy, L1Cache
+from repro.cache.llc import SlicedLLC
+from repro.cache.slicehash import IntelComplexHash, ModuloSliceHash, SliceHash
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "CacheSet",
+    "LINE_DIRTY",
+    "LINE_IO",
+    "CacheHierarchy",
+    "L1Cache",
+    "SlicedLLC",
+    "IntelComplexHash",
+    "ModuloSliceHash",
+    "SliceHash",
+    "CacheStats",
+]

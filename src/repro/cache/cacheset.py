@@ -1,0 +1,123 @@
+"""A single set-associative cache set with LRU ordering and line origins.
+
+Lines are stored in an :class:`collections.OrderedDict` keyed by the full
+line address (which doubles as the tag); dict order is recency order with
+the most recently used line last.  Each line carries two flag bits:
+
+* ``LINE_IO`` — the line was filled by inbound DMA (DDIO).  The DDIO
+  allocation limit and the adaptive-partitioning defense both key off this.
+* ``LINE_DIRTY`` — the line must be written back to DRAM on eviction.
+  DDIO-filled lines are always dirty ("they will be in dirty mode and will
+  get written back to memory only upon eviction").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+LINE_IO = 0x1
+LINE_DIRTY = 0x2
+
+
+class CacheSet:
+    """One cache set: an LRU-ordered mapping of line address to flags."""
+
+    __slots__ = ("ways", "lines", "io_count")
+
+    def __init__(self, ways: int) -> None:
+        if ways <= 0:
+            raise ValueError(f"ways must be positive, got {ways}")
+        self.ways = ways
+        self.lines: OrderedDict[int, int] = OrderedDict()
+        self.io_count = 0
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def __contains__(self, line_addr: int) -> bool:
+        return line_addr in self.lines
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def touch(self, line_addr: int, set_dirty: bool = False) -> bool:
+        """Access ``line_addr``; return True on hit (and update LRU order)."""
+        flags = self.lines.get(line_addr)
+        if flags is None:
+            return False
+        self.lines.move_to_end(line_addr)
+        if set_dirty and not (flags & LINE_DIRTY):
+            self.lines[line_addr] = flags | LINE_DIRTY
+        return True
+
+    def flags_of(self, line_addr: int) -> int | None:
+        """Flags of a resident line, or None if absent (no LRU update)."""
+        return self.lines.get(line_addr)
+
+    # ------------------------------------------------------------------
+    # Fills and evictions
+    # ------------------------------------------------------------------
+    def insert(self, line_addr: int, flags: int) -> tuple[int, int] | None:
+        """Insert a new line as MRU, evicting the LRU line if the set is full.
+
+        Returns the evicted ``(line_addr, flags)`` or None.  The caller is
+        responsible for the line not already being present.
+        """
+        evicted = None
+        if len(self.lines) >= self.ways:
+            evicted = self.evict_lru()
+        self.lines[line_addr] = flags
+        if flags & LINE_IO:
+            self.io_count += 1
+        return evicted
+
+    def evict_lru(self) -> tuple[int, int]:
+        """Evict and return the least recently used line."""
+        if not self.lines:
+            raise LookupError("evict_lru on empty set")
+        line_addr, flags = self.lines.popitem(last=False)
+        if flags & LINE_IO:
+            self.io_count -= 1
+        return line_addr, flags
+
+    def evict_lru_of(self, io: bool) -> tuple[int, int] | None:
+        """Evict the LRU line whose origin matches ``io``; None if no match."""
+        target = None
+        for line_addr, flags in self.lines.items():
+            if bool(flags & LINE_IO) == io:
+                target = (line_addr, flags)
+                break
+        if target is None:
+            return None
+        line_addr, flags = target
+        del self.lines[line_addr]
+        if flags & LINE_IO:
+            self.io_count -= 1
+        return line_addr, flags
+
+    def invalidate(self, line_addr: int) -> int | None:
+        """Drop a line without writeback accounting; return its flags."""
+        flags = self.lines.pop(line_addr, None)
+        if flags is not None and flags & LINE_IO:
+            self.io_count -= 1
+        return flags
+
+    def mark_io(self, line_addr: int) -> None:
+        """Convert a resident line to an I/O line (DMA overwrite of a cached
+        address); also marks it dirty and MRU."""
+        flags = self.lines.get(line_addr)
+        if flags is None:
+            raise LookupError(f"line {line_addr:#x} not resident")
+        if not (flags & LINE_IO):
+            self.io_count += 1
+        self.lines[line_addr] = flags | LINE_IO | LINE_DIRTY
+        self.lines.move_to_end(line_addr)
+
+    @property
+    def cpu_count(self) -> int:
+        """Number of resident CPU-origin lines."""
+        return len(self.lines) - self.io_count
+
+    def occupancy(self) -> tuple[int, int]:
+        """(cpu_lines, io_lines) currently resident."""
+        return self.cpu_count, self.io_count

@@ -1,0 +1,101 @@
+"""Private L1 cache and a two-level hierarchy used by the CPU-side model.
+
+The side-channel experiments run the spy directly against the LLC (its
+eviction sets exceed L1 associativity, so L1 contributes nothing but a
+constant offset), but the performance model for the defense evaluation
+(Figs. 14-16) routes victim workloads through a private L1 so that hot
+working sets filter out of the LLC traffic realistically.
+
+The hierarchy is inclusive, like the Intel parts the paper targets: an LLC
+eviction back-invalidates the L1 copy.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cacheset import CacheSet, LINE_DIRTY
+from repro.cache.llc import SlicedLLC
+from repro.cache.stats import CacheStats
+from repro.core.config import TimingParams
+
+
+class L1Cache:
+    """A small private physically-indexed cache (32 KB / 8-way by default)."""
+
+    def __init__(self, size_kb: int = 32, ways: int = 8, line_size: int = 64) -> None:
+        n_lines = size_kb * 1024 // line_size
+        if n_lines % ways:
+            raise ValueError("cache size not divisible into whole sets")
+        self.n_sets = n_lines // ways
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError(f"L1 set count must be a power of two, got {self.n_sets}")
+        self.ways = ways
+        self.line_size = line_size
+        self._offset_bits = line_size.bit_length() - 1
+        self._set_mask = self.n_sets - 1
+        self.sets = [CacheSet(ways) for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def set_of(self, paddr: int) -> CacheSet:
+        return self.sets[(paddr >> self._offset_bits) & self._set_mask]
+
+    def access(self, paddr: int, write: bool = False) -> bool:
+        """Look up ``paddr``; True on hit."""
+        hit = self.set_of(paddr).touch(paddr >> self._offset_bits, set_dirty=write)
+        if hit:
+            self.stats.cpu_hits += 1
+        else:
+            self.stats.cpu_misses += 1
+        return hit
+
+    def fill(self, paddr: int, write: bool) -> tuple[int, int] | None:
+        """Install the line for ``paddr``; return evicted (line, flags)."""
+        flags = LINE_DIRTY if write else 0
+        return self.set_of(paddr).insert(paddr >> self._offset_bits, flags)
+
+    def invalidate_line(self, line_addr: int) -> int | None:
+        """Back-invalidate on LLC eviction (inclusive hierarchy)."""
+        paddr = line_addr << self._offset_bits
+        return self.set_of(paddr).invalidate(line_addr)
+
+
+class CacheHierarchy:
+    """L1 + shared LLC with inclusive back-invalidation.
+
+    One instance per simulated core/process in the performance model; all
+    instances share the same :class:`SlicedLLC`.
+    """
+
+    def __init__(
+        self,
+        llc: SlicedLLC,
+        timing: TimingParams | None = None,
+        l1: L1Cache | None = None,
+    ) -> None:
+        self.llc = llc
+        self.timing = timing or llc.timing
+        self.l1 = l1 or L1Cache()
+        # Register for back-invalidation so inclusion holds.  Multiple
+        # hierarchies chain their hooks.
+        previous_hook = llc.evict_hook
+
+        def _back_invalidate(line_addr: int) -> None:
+            self.l1.invalidate_line(line_addr)
+            if previous_hook is not None:
+                previous_hook(line_addr)
+
+        llc.evict_hook = _back_invalidate
+
+    def access(self, paddr: int, write: bool = False, now: int = 0) -> tuple[bool, int]:
+        """Access through L1 then LLC; returns (l1_hit, total_latency)."""
+        if self.l1.access(paddr, write):
+            return True, self.timing.l1_hit_latency
+        _llc_hit, llc_latency = self.llc.cpu_access(paddr, write=write, now=now)
+        evicted = self.l1.fill(paddr, write)
+        if evicted is not None:
+            line_addr, flags = evicted
+            if flags & LINE_DIRTY:
+                # Dirty L1 writeback lands in the (inclusive) LLC copy.
+                victim_paddr = line_addr << self.llc.geometry.offset_bits
+                llc_set = self.llc.sets[self.llc.flat_set_of(victim_paddr)]
+                llc_set.touch(line_addr, set_dirty=True)
+        return False, self.timing.l1_hit_latency + llc_latency

@@ -1,0 +1,225 @@
+"""Sliced, physically-indexed last-level cache with DDIO write allocation.
+
+The LLC is the meeting point of the attack: inbound packets are DMA'd into
+it by DDIO, the spy's eviction sets live in it, and the defense partitions
+it.  Three access paths exist:
+
+* :meth:`SlicedLLC.cpu_access` — loads/stores from a CPU process (spy,
+  victim, driver).  Misses fill a CPU-origin line.
+* :meth:`SlicedLLC.io_write` — inbound DMA.  With DDIO enabled this
+  allocates directly in the cache (at most ``ddio.write_allocate_ways`` I/O
+  lines per set, but allocations may still evict CPU lines); with DDIO
+  disabled it goes to DRAM and invalidates any cached copy.
+* :meth:`SlicedLLC.flush` — CLFLUSH, used by some attack variants.
+
+An optional *partition* object (the Section VII defense) takes over victim
+selection; see :mod:`repro.defense.partitioning`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cache.cacheset import CacheSet, LINE_DIRTY, LINE_IO
+from repro.cache.slicehash import IntelComplexHash, SliceHash
+from repro.cache.stats import CacheStats
+from repro.core.config import CacheGeometry, DDIOConfig, TimingParams
+from repro.mem.physmem import DramTraffic
+
+
+class SlicedLLC:
+    """The shared last-level cache of the simulated machine."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry | None = None,
+        ddio: DDIOConfig | None = None,
+        timing: TimingParams | None = None,
+        traffic: DramTraffic | None = None,
+        slice_hash: SliceHash | None = None,
+    ) -> None:
+        self.geometry = geometry or CacheGeometry()
+        self.ddio = ddio or DDIOConfig()
+        self.timing = timing or TimingParams()
+        self.traffic = traffic or DramTraffic()
+        self.slice_hash = slice_hash or IntelComplexHash(self.geometry.n_slices)
+        if self.slice_hash.n_slices != self.geometry.n_slices:
+            raise ValueError(
+                "slice hash built for a different slice count: "
+                f"{self.slice_hash.n_slices} != {self.geometry.n_slices}"
+            )
+        self.sets: list[CacheSet] = [
+            CacheSet(self.geometry.ways) for _ in range(self.geometry.total_sets)
+        ]
+        self.stats = CacheStats()
+        #: Defense hook: when set, victim selection is delegated to the
+        #: partition (see repro.defense.partitioning.AdaptivePartition).
+        self.partition = None
+        #: Optional callback fired on every I/O fill with the flat set id —
+        #: used by experiments to record ground-truth packet placement.
+        self.io_fill_hook: Callable[[int], None] | None = None
+        #: Optional callback fired with the line address of every line that
+        #: leaves the LLC — used for inclusive back-invalidation of L1s.
+        self.evict_hook: Callable[[int], None] | None = None
+        self._offset_bits = self.geometry.offset_bits
+        self._set_mask = self.geometry.sets_per_slice - 1
+
+    # ------------------------------------------------------------------
+    # Address decomposition
+    # ------------------------------------------------------------------
+    def set_index_of(self, paddr: int) -> int:
+        """Set index within a slice (bits 6..16 for the default geometry)."""
+        return (paddr >> self._offset_bits) & self._set_mask
+
+    def slice_of(self, paddr: int) -> int:
+        """Slice id from the complex hash."""
+        return self.slice_hash.slice_of(paddr)
+
+    def flat_set_of(self, paddr: int) -> int:
+        """Flat set id: ``slice * sets_per_slice + set_index``."""
+        return (
+            self.slice_hash.slice_of(paddr) * self.geometry.sets_per_slice
+            + ((paddr >> self._offset_bits) & self._set_mask)
+        )
+
+    def line_addr_of(self, paddr: int) -> int:
+        """Line-aligned address (tag identity used inside sets)."""
+        return paddr >> self._offset_bits
+
+    # ------------------------------------------------------------------
+    # CPU path
+    # ------------------------------------------------------------------
+    def cpu_access(self, paddr: int, write: bool = False, now: int = 0) -> tuple[bool, int]:
+        """Access ``paddr`` from a CPU; returns ``(hit, latency_cycles)``."""
+        flat = self.flat_set_of(paddr)
+        cset = self.sets[flat]
+        line = paddr >> self._offset_bits
+        if cset.touch(line, set_dirty=write):
+            self.stats.cpu_hits += 1
+            return True, self.timing.llc_hit_latency
+        self.stats.cpu_misses += 1
+        self.traffic.reads += 1
+        self._fill_cpu(flat, cset, line, write, now)
+        return False, self.timing.llc_miss_latency
+
+    def _fill_cpu(self, flat: int, cset: CacheSet, line: int, write: bool, now: int) -> None:
+        flags = LINE_DIRTY if write else 0
+        if self.partition is not None:
+            evicted = self.partition.victim_for_cpu_fill(self, flat, cset, now)
+            if evicted is not None:
+                self._retire(evicted, by_io=False)
+            cset.insert(line, flags)
+            self.partition.after_fill(self, flat, cset, now)
+            return
+        evicted = cset.insert(line, flags)
+        if evicted is not None:
+            self._retire(evicted, by_io=False)
+
+    # ------------------------------------------------------------------
+    # I/O (DMA) path
+    # ------------------------------------------------------------------
+    def io_write(self, paddr: int, now: int = 0) -> None:
+        """Inbound DMA write of one cache line."""
+        if not self.ddio.enabled:
+            # Direct to DRAM; snoop-invalidate any cached copy.
+            self.traffic.writes += 1
+            flat = self.flat_set_of(paddr)
+            cset = self.sets[flat]
+            line = paddr >> self._offset_bits
+            if cset.invalidate(line) is not None:
+                self.stats.invalidations += 1
+                if self.evict_hook is not None:
+                    self.evict_hook(line)
+                if self.partition is not None:
+                    self.partition.after_fill(self, flat, cset, now)
+            return
+        flat = self.flat_set_of(paddr)
+        cset = self.sets[flat]
+        line = paddr >> self._offset_bits
+        if line in cset:
+            cset.mark_io(line)
+            self.stats.io_hits += 1
+            if self.partition is not None:
+                self.partition.after_fill(self, flat, cset, now)
+            return
+        self.stats.io_fills += 1
+        if self.io_fill_hook is not None:
+            self.io_fill_hook(flat)
+        if self.partition is not None:
+            evicted = self.partition.victim_for_io_fill(self, flat, cset, now)
+            if evicted is not None:
+                self._retire(evicted, by_io=True)
+            cset.insert(line, LINE_IO | LINE_DIRTY)
+            self.partition.after_fill(self, flat, cset, now)
+            return
+        # Vanilla DDIO: cap I/O lines per set, but victims may be CPU lines.
+        if cset.io_count >= self.ddio.write_allocate_ways:
+            evicted = cset.evict_lru_of(io=True)
+            if evicted is not None:
+                self._retire(evicted, by_io=True)
+        elif len(cset) >= cset.ways:
+            self._retire(cset.evict_lru(), by_io=True)
+        cset.insert(line, LINE_IO | LINE_DIRTY)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def flush(self, paddr: int) -> int:
+        """CLFLUSH: invalidate (with writeback if dirty); returns latency."""
+        cset = self.sets[self.flat_set_of(paddr)]
+        line = paddr >> self._offset_bits
+        flags = cset.invalidate(line)
+        if flags is not None:
+            self.stats.invalidations += 1
+            if self.evict_hook is not None:
+                self.evict_hook(line)
+            if flags & LINE_DIRTY:
+                self.stats.writebacks += 1
+                self.traffic.writes += 1
+        return self.timing.llc_hit_latency
+
+    def invalidate_set_lines(self, flat_set: int, io: bool) -> int:
+        """Invalidate all lines of one origin in a set (partition reshaping).
+
+        Dirty lines are written back.  Returns the number invalidated.
+        """
+        cset = self.sets[flat_set]
+        victims = [
+            line for line, flags in cset.lines.items() if bool(flags & LINE_IO) == io
+        ]
+        for line in victims:
+            flags = cset.invalidate(line)
+            self.stats.invalidations += 1
+            if self.evict_hook is not None:
+                self.evict_hook(line)
+            if flags is not None and flags & LINE_DIRTY:
+                self.stats.writebacks += 1
+                self.traffic.writes += 1
+        return len(victims)
+
+    def _retire(self, evicted: tuple[int, int], by_io: bool) -> None:
+        """Account for an evicted line (writeback + attribution counters)."""
+        line, flags = evicted
+        if self.evict_hook is not None:
+            self.evict_hook(line)
+        if flags & LINE_DIRTY:
+            self.stats.writebacks += 1
+            self.traffic.writes += 1
+        victim_is_io = bool(flags & LINE_IO)
+        if by_io and victim_is_io:
+            self.stats.io_evicted_io += 1
+        elif by_io:
+            self.stats.io_evicted_cpu += 1
+        elif victim_is_io:
+            self.stats.cpu_evicted_io += 1
+
+    # ------------------------------------------------------------------
+    # Introspection (instrumentation / ground truth, not attacker-visible)
+    # ------------------------------------------------------------------
+    def is_resident(self, paddr: int) -> bool:
+        """Whether the line holding ``paddr`` is currently cached."""
+        return (paddr >> self._offset_bits) in self.sets[self.flat_set_of(paddr)]
+
+    def set_occupancy(self, flat_set: int) -> tuple[int, int]:
+        """(cpu_lines, io_lines) resident in ``flat_set``."""
+        return self.sets[flat_set].occupancy()

@@ -1,0 +1,62 @@
+"""Cache statistics counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Aggregate counters for one cache level.
+
+    ``io_evicted_cpu`` counts the events at the heart of the vulnerability:
+    an inbound-DMA (DDIO) allocation displacing a CPU-origin line, which is
+    what the spy's PRIME+PROBE observes.  The adaptive-partitioning defense
+    drives this count to zero (except at adaptation boundaries).
+    """
+
+    cpu_hits: int = 0
+    cpu_misses: int = 0
+    io_hits: int = 0
+    io_fills: int = 0
+    writebacks: int = 0
+    io_evicted_cpu: int = 0
+    io_evicted_io: int = 0
+    cpu_evicted_io: int = 0
+    invalidations: int = 0
+
+    @property
+    def cpu_accesses(self) -> int:
+        return self.cpu_hits + self.cpu_misses
+
+    @property
+    def miss_rate(self) -> float:
+        """CPU-side miss rate (the quantity reported in Fig. 15)."""
+        total = self.cpu_accesses
+        return self.cpu_misses / total if total else 0.0
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict copy of all counters."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+
+@dataclass
+class SetActivity:
+    """Per-set activity trace used by figure-style experiments.
+
+    Records, for a chosen window, how many fills landed in each flat set id.
+    The experiments behind Figs. 5-8 use this on the *victim* side as ground
+    truth to compare against what the attacker recovers by probing.
+    """
+
+    fills: dict[int, int] = field(default_factory=dict)
+
+    def record(self, flat_set: int) -> None:
+        self.fills[flat_set] = self.fills.get(flat_set, 0) + 1
+
+    def reset(self) -> None:
+        self.fills.clear()

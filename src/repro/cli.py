@@ -1,0 +1,164 @@
+"""Command-line entry point: regenerate any experiment from the shell.
+
+Usage::
+
+    python -m repro list               # available experiments
+    python -m repro fig7               # run one, print the paper-style rows
+    python -m repro table1 --paper-scale
+    python -m repro all                # everything (slow)
+
+Each experiment runs at the scaled machine size by default (seconds to a
+couple of minutes); ``--paper-scale`` switches to the paper's full set
+structure where the harness supports it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.core.config import MachineConfig
+from repro import experiments as exp
+
+#: name -> (description, runner taking a MachineConfig)
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "fig5": (
+        "buffer-to-set mapping, one driver init",
+        lambda cfg: exp.run_fig5(cfg),
+    ),
+    "fig6": (
+        "buffers-per-set histogram over many inits",
+        lambda cfg: exp.run_fig6(instances=100, config=cfg),
+    ),
+    "fig7": (
+        "page-aligned footprint: idle vs receiving",
+        lambda cfg: exp.run_fig7(cfg, n_samples=250, huge_pages=4),
+    ),
+    "fig8": (
+        "cache footprint vs packet size",
+        lambda cfg: exp.run_fig8(cfg, n_samples=100, huge_pages=4, n_buffers=6),
+    ),
+    "table1": (
+        "ring sequence recovery (Algorithm 1)",
+        lambda cfg: exp.run_table1(
+            cfg,
+            n_monitored=16,
+            n_samples=4000,
+            packet_rate=15_000,
+            probe_rate_hz=16_000,
+            huge_pages=4,
+        ),
+    ),
+    "fig10": (
+        "covert decode of the '201' pattern",
+        lambda cfg: exp.run_fig10(cfg, n_symbols=24, huge_pages=4),
+    ),
+    "fig11": (
+        "covert capacity: binary/ternary x probe rate",
+        lambda cfg: exp.run_fig11(cfg, n_symbols=50, huge_pages=4),
+    ),
+    "fig12ab": (
+        "multi-buffer covert capacity",
+        lambda cfg: exp.run_fig12_multibuffer(
+            cfg, buffer_counts=(1, 2, 4, 8), n_symbols=48, huge_pages=4
+        ),
+    ),
+    "fig12cd": (
+        "full chasing channel vs send rate",
+        lambda cfg: exp.run_fig12_chase(cfg, n_symbols=150, huge_pages=4),
+    ),
+    "fig13": (
+        "login success/failure trace recovery",
+        lambda cfg: exp.run_fig13_login(cfg, huge_pages=4, trace_length=80),
+    ),
+    "accuracy": (
+        "website fingerprinting accuracy, DDIO on/off",
+        lambda cfg: exp.run_fingerprint_accuracy(
+            cfg, train_loads=3, trials_per_site=4, huge_pages=4, trace_length=80
+        ),
+    ),
+    "fig14": (
+        "Nginx throughput: DDIO vs adaptive partitioning",
+        lambda cfg: exp.run_fig14(cfg, n_requests=500),
+    ),
+    "fig15": (
+        "memory traffic + miss rate per cache variant",
+        lambda cfg: exp.run_fig15(cfg, copy_kb=512, tcp_packets=1000, nginx_requests=300),
+    ),
+    "fig16": (
+        "tail latency per defense scheme",
+        lambda cfg: exp.run_fig16(cfg, n_requests=2000),
+    ),
+    "ablation-ring": (
+        "ring size as a mitigation",
+        lambda cfg: exp.run_ring_size_ablation(cfg),
+    ),
+    "ablation-interval": (
+        "partial randomization interval vs chase quality",
+        lambda cfg: exp.run_randomization_interval_ablation(cfg),
+    ),
+    "ablation-ddio-ways": (
+        "DDIO allocation limit vs covert error",
+        lambda cfg: exp.run_ddio_ways_ablation(cfg),
+    ),
+    "ablation-probe-rate": (
+        "probe rate vs sequence recovery error",
+        lambda cfg: exp.run_probe_rate_ablation(cfg),
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Packet Chasing (ISCA 2020) reproduction experiments",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's full set structure (much slower)",
+    )
+    return parser
+
+
+def run_one(name: str, config: MachineConfig) -> None:
+    description, runner = EXPERIMENTS[name]
+    print(f"== {name}: {description}")
+    start = time.time()
+    result = runner(config)
+    for row in result.format_rows():
+        print(row)
+    print(f"   ({time.time() - start:.1f}s wall)\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"  {name:{width}s}  {description}")
+        return 0
+    config = (
+        MachineConfig().bench_scale()
+        if args.paper_scale
+        else MachineConfig().scaled_down()
+    )
+    if args.experiment == "all":
+        for name in EXPERIMENTS:
+            run_one(name, config)
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+    run_one(args.experiment, config)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

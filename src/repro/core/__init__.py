@@ -1,0 +1,43 @@
+"""Core simulation infrastructure: clock, configuration, events, machine.
+
+The Packet Chasing attack is a *timing* attack: everything the spy learns,
+it learns by measuring how long its own memory accesses take.  The core
+package therefore provides a cycle-granular simulation substrate that the
+rest of the library (cache model, NIC model, attacker, defenses) shares:
+
+* :class:`~repro.core.clock.SimClock` — the global cycle counter.
+* :class:`~repro.core.events.EventQueue` — time-ordered event delivery used
+  to interleave NIC packet arrivals with attacker memory accesses.
+* :mod:`repro.core.config` — dataclasses describing the simulated hardware
+  (cache geometry, DDIO policy, NIC ring, link rate, processor baseline from
+  Table II of the paper).
+* :class:`~repro.core.machine.Machine` — assembles memory, caches, NIC and
+  driver into one system the attacker and victim processes run on.
+"""
+
+from repro.core.clock import SimClock
+from repro.core.config import (
+    CacheGeometry,
+    DDIOConfig,
+    LinkConfig,
+    MachineConfig,
+    ProcessorConfig,
+    RingConfig,
+    TimingParams,
+)
+from repro.core.events import Event, EventQueue
+from repro.core.machine import Machine
+
+__all__ = [
+    "SimClock",
+    "CacheGeometry",
+    "DDIOConfig",
+    "LinkConfig",
+    "MachineConfig",
+    "ProcessorConfig",
+    "RingConfig",
+    "TimingParams",
+    "Event",
+    "EventQueue",
+    "Machine",
+]

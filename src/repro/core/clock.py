@@ -1,0 +1,61 @@
+"""Global simulation clock.
+
+All components of the simulated machine share one :class:`SimClock`.  Time
+is measured in CPU cycles of the baseline processor (3.3 GHz per Table II of
+the paper), so one cycle is ~0.303 ns.  Components advance the clock when
+they consume time (e.g. a cache miss costs ``TimingParams.llc_miss_latency``
+cycles) and schedule future work (e.g. packet arrivals) via the event queue.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically increasing cycle counter.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Clock frequency used to convert between cycles and seconds.  The
+        paper's baseline processor runs at 3.3 GHz.
+    """
+
+    __slots__ = ("now", "frequency_hz")
+
+    def __init__(self, frequency_hz: float = 3.3e9) -> None:
+        self.now: int = 0
+        self.frequency_hz = float(frequency_hz)
+
+    def advance(self, cycles: int) -> int:
+        """Move time forward by ``cycles`` and return the new time.
+
+        Raises
+        ------
+        ValueError
+            If ``cycles`` is negative — simulated time never runs backwards.
+        """
+        if cycles < 0:
+            raise ValueError(f"cannot advance clock by negative cycles: {cycles}")
+        self.now += cycles
+        return self.now
+
+    def advance_to(self, cycle: int) -> int:
+        """Move time forward to absolute ``cycle`` (no-op if already past)."""
+        if cycle > self.now:
+            self.now = cycle
+        return self.now
+
+    def seconds(self, cycles: int | None = None) -> float:
+        """Convert ``cycles`` (default: current time) to seconds."""
+        if cycles is None:
+            cycles = self.now
+        return cycles / self.frequency_hz
+
+    def cycles(self, seconds: float) -> int:
+        """Convert a duration in seconds to an integral number of cycles."""
+        if seconds < 0:
+            raise ValueError(f"negative duration: {seconds}")
+        return int(round(seconds * self.frequency_hz))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self.now}, t={self.seconds() * 1e6:.3f}us)"

@@ -1,0 +1,270 @@
+"""Configuration dataclasses describing the simulated hardware.
+
+Defaults reproduce the paper's experimental platform:
+
+* Dell PowerEdge T620 with Intel Xeon E5-2660: 20 MB last-level cache with
+  16384 sets (8 slices x 2048 sets x 20 ways x 64 B lines), complex slice
+  indexing (Fig. 2 of the paper).
+* Intel I350 gigabit adapter driven by the IGB driver: 256 rx descriptors,
+  2048-byte buffers packed two per 4096-byte page.
+* DDIO: I/O writes allocate directly in the LLC, at most 2 ways per set.
+* Baseline out-of-order processor parameters from Table II, used by the
+  defense evaluation (:mod:`repro.perf`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one cache level.
+
+    The default values describe the Xeon E5-2660 LLC used in the paper:
+    20 MB, 16384 sets split over 8 slices, 20 ways, 64-byte lines.
+    """
+
+    line_size: int = 64
+    n_slices: int = 8
+    sets_per_slice: int = 2048
+    ways: int = 20
+
+    def __post_init__(self) -> None:
+        for name in ("line_size", "n_slices", "sets_per_slice", "ways"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.line_size & (self.line_size - 1):
+            raise ValueError(f"line_size must be a power of two, got {self.line_size}")
+        if self.sets_per_slice & (self.sets_per_slice - 1):
+            raise ValueError(
+                f"sets_per_slice must be a power of two, got {self.sets_per_slice}"
+            )
+        if self.n_slices & (self.n_slices - 1):
+            raise ValueError(f"n_slices must be a power of two, got {self.n_slices}")
+
+    @property
+    def total_sets(self) -> int:
+        """Total number of sets across all slices (16384 for the default)."""
+        return self.n_slices * self.sets_per_slice
+
+    @property
+    def size_bytes(self) -> int:
+        """Total capacity in bytes (20 MB for the default)."""
+        return self.total_sets * self.ways * self.line_size
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of block-offset bits (6 for 64-byte lines)."""
+        return self.line_size.bit_length() - 1
+
+    @property
+    def set_bits(self) -> int:
+        """Number of set-index bits within a slice (11 for 2048 sets)."""
+        return self.sets_per_slice.bit_length() - 1
+
+    @property
+    def slice_bits(self) -> int:
+        """Number of slice-select bits (3 for 8 slices)."""
+        return self.n_slices.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class DDIOConfig:
+    """Intel Data Direct I/O policy.
+
+    When ``enabled``, inbound DMA writes allocate directly in the LLC.  Intel
+    limits the allocation to ``write_allocate_ways`` ways per set (2 on real
+    hardware); crucially the limit is on *how many* I/O lines may live in a
+    set, not on *which* ways they occupy, so an allocation may still evict a
+    CPU line — the root of the vulnerability (Section VII of the paper).
+    """
+
+    enabled: bool = True
+    write_allocate_ways: int = 2
+
+    def __post_init__(self) -> None:
+        if self.write_allocate_ways < 1:
+            raise ValueError(
+                f"write_allocate_ways must be >= 1, got {self.write_allocate_ways}"
+            )
+
+
+@dataclass(frozen=True)
+class RingConfig:
+    """IGB driver rx ring configuration (Section III-A of the paper)."""
+
+    n_descriptors: int = 256
+    buffer_size: int = 2048
+    page_size: int = 4096
+    #: Packets at most this size are copied into the skb and the rx buffer is
+    #: reused as-is (IGB_RX_HDR_LEN in the driver source).
+    copy_threshold: int = 256
+
+    def __post_init__(self) -> None:
+        if self.n_descriptors <= 0:
+            raise ValueError(f"n_descriptors must be positive, got {self.n_descriptors}")
+        if self.buffer_size * 2 != self.page_size:
+            raise ValueError(
+                "the IGB driver packs exactly two buffers per page: "
+                f"buffer_size={self.buffer_size}, page_size={self.page_size}"
+            )
+        if self.copy_threshold >= self.buffer_size:
+            raise ValueError("copy_threshold must be smaller than buffer_size")
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Ethernet link parameters.
+
+    ``max_frame_rate`` computes the theoretical frames-per-second limit for
+    a given frame size, accounting for preamble (8 B), inter-frame gap (12 B)
+    and CRC (4 B) — the same line-rate arithmetic behind the paper's
+    observation that 192-byte frames cap at ~500k frames/s on 1 GbE.
+    """
+
+    rate_bps: float = 1e9
+    mtu: int = 1500
+    min_frame: int = 64
+    preamble_bytes: int = 8
+    interframe_gap_bytes: int = 12
+    crc_bytes: int = 4
+
+    def wire_bytes(self, frame_size: int) -> int:
+        """Bytes consumed on the wire by one frame of ``frame_size`` bytes."""
+        padded = max(frame_size, self.min_frame)
+        return padded + self.preamble_bytes + self.interframe_gap_bytes + self.crc_bytes
+
+    def max_frame_rate(self, frame_size: int) -> float:
+        """Maximum frames per second for back-to-back frames of this size."""
+        return self.rate_bps / (8.0 * self.wire_bytes(frame_size))
+
+    def frame_time_seconds(self, frame_size: int) -> float:
+        """Wire time of one frame, in seconds."""
+        return 1.0 / self.max_frame_rate(frame_size)
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Latency model (cycles) for the memory hierarchy.
+
+    Values are representative of a Sandy Bridge-EP class part: an LLC hit
+    costs tens of cycles, a miss to DRAM a couple hundred.  The attack only
+    requires that the hit/miss gap be reliably measurable, which it is by a
+    wide margin.
+    """
+
+    l1_hit_latency: int = 4
+    l2_hit_latency: int = 12
+    llc_hit_latency: int = 40
+    llc_miss_latency: int = 200
+    #: Latency between the NIC's memory write and the driver's header read
+    #: when DDIO is disabled (characterised as < 20k cycles in Huggahalli et
+    #: al., cited by the paper's Section IV-d).
+    io_to_driver_latency: int = 8000
+    #: Delay before the networking stack touches the payload of a large
+    #: packet when DDIO is off.
+    payload_touch_delay: int = 12000
+    #: Cost of measuring time (rdtscp + serialisation overhead).
+    measure_overhead: int = 30
+
+    def __post_init__(self) -> None:
+        if not (
+            0
+            < self.l1_hit_latency
+            <= self.l2_hit_latency
+            <= self.llc_hit_latency
+            < self.llc_miss_latency
+        ):
+            raise ValueError(
+                "latencies must satisfy 0 < l1 <= l2 <= llc_hit < llc_miss"
+            )
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Baseline processor configuration (Table II of the paper).
+
+    These parameters scope the trace-driven performance model used for the
+    defense evaluation; the cache side-channel experiments only need the
+    frequency and the cache geometry.
+    """
+
+    frequency_hz: float = 3.3e9
+    fetch_width: int = 4
+    issue_width: int = 6
+    int_regs: int = 160
+    fp_regs: int = 144
+    rob_entries: int = 168
+    iq_entries: int = 54
+    lq_entries: int = 64
+    sq_entries: int = 36
+    btb_entries: int = 256
+    ras_entries: int = 16
+    int_alus: int = 6
+    int_mults: int = 1
+    icache_kb: int = 32
+    icache_ways: int = 8
+    dcache_kb: int = 32
+    dcache_ways: int = 8
+
+
+@dataclass
+class MachineConfig:
+    """Top-level configuration bundle for a simulated machine."""
+
+    cache: CacheGeometry = field(default_factory=CacheGeometry)
+    ddio: DDIOConfig = field(default_factory=DDIOConfig)
+    ring: RingConfig = field(default_factory=RingConfig)
+    link: LinkConfig = field(default_factory=LinkConfig)
+    timing: TimingParams = field(default_factory=TimingParams)
+    processor: ProcessorConfig = field(default_factory=ProcessorConfig)
+    #: Physical memory size; only page *frames* are modelled, not contents.
+    memory_bytes: int = 1 << 32
+    #: Number of NUMA nodes (the IGB reuse logic checks page_to_nid()).
+    numa_nodes: int = 2
+    #: Seed for all stochastic choices (page placement, noise, jitter).
+    seed: int = 1234
+
+    def scaled_down(self) -> "MachineConfig":
+        """Return a copy with a smaller LLC *and ring* for fast unit tests.
+
+        The scaled geometry keeps 8 slices and 64-byte lines (so address
+        decomposition is unchanged) and keeps the paper's 1:1 ratio between
+        ring buffers and page-aligned cache sets: 4 page-aligned indices x 8
+        slices = 32 sets, and a 32-descriptor ring.
+        """
+        return MachineConfig(
+            cache=CacheGeometry(line_size=64, n_slices=8, sets_per_slice=256, ways=8),
+            ddio=self.ddio,
+            ring=RingConfig(
+                n_descriptors=32,
+                buffer_size=self.ring.buffer_size,
+                page_size=self.ring.page_size,
+                copy_threshold=self.ring.copy_threshold,
+            ),
+            link=self.link,
+            timing=self.timing,
+            processor=self.processor,
+            memory_bytes=1 << 28,
+            numa_nodes=self.numa_nodes,
+            seed=self.seed,
+        )
+
+    def bench_scale(self) -> "MachineConfig":
+        """Benchmark geometry: the paper's full set structure (2048 sets per
+        slice -> 256 page-aligned sets, 256-descriptor ring) with reduced
+        associativity so probe sweeps stay affordable in pure Python.
+        EXPERIMENTS.md documents this scaling next to every result."""
+        return MachineConfig(
+            cache=CacheGeometry(line_size=64, n_slices=8, sets_per_slice=2048, ways=12),
+            ddio=self.ddio,
+            ring=self.ring,
+            link=self.link,
+            timing=self.timing,
+            processor=self.processor,
+            memory_bytes=1 << 30,
+            numa_nodes=self.numa_nodes,
+            seed=self.seed,
+        )

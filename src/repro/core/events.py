@@ -1,0 +1,92 @@
+"""Time-ordered event queue.
+
+The simulation interleaves two independent actors: the NIC (delivering
+packets at times dictated by the traffic source and link rate) and CPU
+processes (the spy probing the cache, victim workloads).  CPU actors drive
+the clock forward with their memory accesses; before each access the machine
+drains all events whose timestamp has been reached, so packet DMA lands in
+the cache at the correct simulated instant relative to the spy's probes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so that simultaneous events fire in
+    scheduling order, keeping runs deterministic.
+    """
+
+    time: int
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when its time arrives."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects keyed by simulated time."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(self, time: int, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` to run at absolute cycle ``time``."""
+        if time < 0:
+            raise ValueError(f"cannot schedule event in negative time: {time}")
+        event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> int | None:
+        """Timestamp of the earliest pending event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run_due(self, now: int) -> int:
+        """Fire every pending event with ``time <= now``; return count fired.
+
+        Events may schedule further events; those are honoured in the same
+        call if their time is also due.
+        """
+        fired = 0
+        while self._heap and self._heap[0].time <= now:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            event.action()
+            fired += 1
+        return fired
+
+    def run_until_empty(self, clock) -> int:
+        """Drain the queue completely, advancing ``clock`` to each event.
+
+        Used by pure victim-side simulations (no CPU actor driving time).
+        """
+        fired = 0
+        while True:
+            t = self.peek_time()
+            if t is None:
+                return fired
+            clock.advance_to(t)
+            fired += self.run_due(clock.now)
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

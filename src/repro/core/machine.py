@@ -1,0 +1,181 @@
+"""The simulated machine: memory + LLC + NIC + driver + processes.
+
+A :class:`Machine` is the top-level object experiments construct.  Exactly
+one CPU actor (normally the spy) *drives* simulated time: each of its memory
+accesses advances the clock by the access latency, and before every access
+the machine fires all pending events (packet arrivals, delayed driver work,
+defense adaptation) whose time has come.  Other actors — the NIC, the
+driver, victim workloads modelled as events — interleave with the driver of
+time at cycle accuracy.
+
+Typical setup::
+
+    machine = Machine()
+    machine.install_nic()
+    spy = machine.new_process("spy")
+    vaddr = spy.mmap_huge(4)
+    latency = spy.timed_access(vaddr)
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cache.llc import SlicedLLC
+from repro.core.clock import SimClock
+from repro.core.config import MachineConfig
+from repro.core.events import EventQueue
+from repro.mem.addrspace import AddressSpace
+from repro.mem.physmem import PhysicalMemory
+
+
+class Process:
+    """A CPU process: an address space plus clock-driving memory accesses.
+
+    ``access`` is the only way attacker code touches memory, and it works
+    exactly like real code does: issue a load, pay the latency.  The
+    returned latency (plus :attr:`TimingParams.measure_overhead` for the
+    timed variant) is all the information the spy ever gets.
+    """
+
+    def __init__(self, machine: "Machine", name: str) -> None:
+        self.machine = machine
+        self.name = name
+        self.addrspace = AddressSpace(machine.physmem, name)
+
+    # -- mapping ------------------------------------------------------
+    def mmap(self, n_pages: int, node: int | None = None) -> int:
+        """Map 4 KB pages with (randomised) physical backing."""
+        return self.addrspace.mmap(n_pages, node)
+
+    def mmap_huge(self, n_huge_pages: int = 1) -> int:
+        """Map 2 MB huge pages (physically contiguous, aligned)."""
+        return self.addrspace.mmap_huge(n_huge_pages)
+
+    # -- memory accesses ----------------------------------------------
+    def access(self, vaddr: int, write: bool = False) -> int:
+        """Perform one memory access; returns its latency in cycles."""
+        machine = self.machine
+        machine.events.run_due(machine.clock.now)
+        paddr = self.addrspace.translate(vaddr)
+        _hit, latency = machine.llc.cpu_access(paddr, write=write, now=machine.clock.now)
+        machine.clock.advance(latency)
+        return latency
+
+    def timed_access(self, vaddr: int, write: bool = False) -> int:
+        """Access with timer overhead included — what rdtscp would report."""
+        overhead = self.machine.llc.timing.measure_overhead
+        latency = self.access(vaddr, write)
+        self.machine.clock.advance(overhead)
+        return latency + overhead
+
+    def flush(self, vaddr: int) -> int:
+        """CLFLUSH the line containing ``vaddr``."""
+        machine = self.machine
+        machine.events.run_due(machine.clock.now)
+        latency = machine.llc.flush(self.addrspace.translate(vaddr))
+        machine.clock.advance(latency)
+        return latency
+
+    def compute(self, cycles: int) -> None:
+        """Burn CPU time without touching memory (busy wait / work)."""
+        self.machine.idle(cycles)
+
+
+class Machine:
+    """Assembled simulation of the paper's DDIO host."""
+
+    def __init__(self, config: MachineConfig | None = None) -> None:
+        self.config = config or MachineConfig()
+        cfg = self.config
+        self.rng = random.Random(cfg.seed)
+        self.clock = SimClock(cfg.processor.frequency_hz)
+        self.events = EventQueue()
+        self.physmem = PhysicalMemory(
+            size_bytes=cfg.memory_bytes,
+            page_size=cfg.ring.page_size,
+            numa_nodes=cfg.numa_nodes,
+            rng=random.Random(cfg.seed + 1),
+        )
+        self.llc = SlicedLLC(
+            geometry=cfg.cache,
+            ddio=cfg.ddio,
+            timing=cfg.timing,
+            traffic=self.physmem.traffic,
+        )
+        self.kernel = AddressSpace(self.physmem, "kernel")
+        self.nic = None
+        self.driver = None
+        self.ring = None
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def install_nic(
+        self,
+        shared_page_prob: float = 0.0,
+        log_receives: bool = False,
+        node: int = 0,
+    ):
+        """Create and wire the rx ring, IGB driver and NIC; returns the NIC."""
+        # Imported here to keep core free of a package cycle.
+        from repro.nic.driver import IgbDriver
+        from repro.nic.nic import Nic
+        from repro.nic.ring import RxRing
+
+        if self.nic is not None:
+            raise RuntimeError("NIC already installed")
+        self.ring = RxRing(
+            self.physmem,
+            config=self.config.ring,
+            node=node,
+            rng=random.Random(self.config.seed + 2),
+        )
+        self.driver = IgbDriver(
+            self,
+            self.ring,
+            config=self.config.ring,
+            shared_page_prob=shared_page_prob,
+            log_receives=log_receives,
+            rng=random.Random(self.config.seed + 3),
+        )
+        self.nic = Nic(self, self.ring, self.driver)
+        return self.nic
+
+    def restart_networking(self) -> None:
+        """Tear down and re-create the ring (fresh buffer placement), as a
+        system reboot / networking restart would."""
+        if self.nic is None:
+            raise RuntimeError("no NIC installed")
+        for buffer in self.ring.buffers:
+            self.physmem.free_frame(buffer.page_paddr // self.physmem.page_size)
+        log = self.driver.log_receives
+        shared = self.driver.shared_page_prob
+        self.nic = None
+        self.install_nic(shared_page_prob=shared, log_receives=log)
+
+    def new_process(self, name: str) -> Process:
+        """Create a CPU process on this machine."""
+        return Process(self, name)
+
+    # ------------------------------------------------------------------
+    # Time control
+    # ------------------------------------------------------------------
+    def idle(self, cycles: int) -> None:
+        """Let simulated time pass (the driving actor waits), firing events."""
+        target = self.clock.now + cycles
+        while True:
+            next_time = self.events.peek_time()
+            if next_time is None or next_time > target:
+                break
+            self.clock.advance_to(next_time)
+            self.events.run_due(self.clock.now)
+        self.clock.advance_to(target)
+
+    def run_events_until(self, target: int) -> None:
+        """Advance to ``target`` firing all events (no CPU actor)."""
+        self.idle(max(0, target - self.clock.now))
+
+    def drain_events(self) -> None:
+        """Run every remaining event, advancing the clock as needed."""
+        self.events.run_until_empty(self.clock)

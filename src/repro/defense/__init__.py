@@ -1,0 +1,26 @@
+"""Mitigations for Packet Chasing (Sections VI and VII of the paper).
+
+* :mod:`repro.defense.randomization` — the short-term, software-only
+  schemes: fully randomized rx buffers (fresh page per packet) and partial
+  randomization (reshuffle the ring every N packets).  They break the
+  recovered sequence but cost allocation work per packet / per interval.
+* :mod:`repro.defense.partitioning` — the paper's hardware proposal:
+  adaptive per-set I/O partitions in the LLC.  DDIO fills may only displace
+  other I/O lines; a per-set counter of I/O presence grows or shrinks each
+  set's I/O quota (1..3 ways) every adaptation period.
+"""
+
+from repro.defense.partitioning import AdaptivePartition, PartitionConfig
+from repro.defense.randomization import (
+    FullRandomizer,
+    PartialRandomizer,
+    RandomizationCost,
+)
+
+__all__ = [
+    "AdaptivePartition",
+    "PartitionConfig",
+    "FullRandomizer",
+    "PartialRandomizer",
+    "RandomizationCost",
+]

@@ -1,0 +1,100 @@
+"""Software mitigations: ring-buffer randomization (Section VI-b).
+
+Packet Chasing leans on two driver properties: buffers live at *stable*
+page-aligned addresses, and they fill in a *stable order*.  Randomization
+attacks both:
+
+* :class:`FullRandomizer` — allocate a brand-new page for every received
+  packet.  Sequence and location knowledge go stale instantly, but the
+  driver/NIC must synchronise on a new descriptor address per packet —
+  the ~41.8% p99 latency hit of Fig. 16.
+* :class:`PartialRandomizer` — permute the ring's order every N packets.
+  The paper notes the attack needs ~65k packets to deconstruct the ring, so
+  a much smaller interval keeps any recovered sequence useless at a far
+  lower cost.
+
+Both plug into :attr:`repro.nic.driver.IgbDriver.randomizer` and charge
+their overhead to the machine's event clock via a cost model, so the
+defense evaluation can measure the latency impact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RandomizationCost:
+    """Cycle costs of the randomization work.
+
+    ``alloc_cycles`` covers allocating + DMA-mapping a fresh page and
+    rewriting the descriptor (coherent-memory write, i.e. expensive);
+    ``shuffle_cycles_per_buffer`` covers re-writing one descriptor during a
+    bulk permutation.
+    """
+
+    alloc_cycles: int = 2_500
+    shuffle_cycles_per_buffer: int = 600
+
+
+class _RandomizerBase:
+    """Shared bookkeeping: packets seen, cycles charged."""
+
+    def __init__(self, cost: RandomizationCost | None = None) -> None:
+        self.cost = cost or RandomizationCost()
+        self.packets = 0
+        self.cycles_charged = 0
+        #: Cycles of overhead accrued since last drained by the perf model.
+        self.pending_cycles = 0
+
+    def _charge(self, cycles: int) -> None:
+        self.cycles_charged += cycles
+        self.pending_cycles += cycles
+
+    def drain_pending(self) -> int:
+        """Return and clear overhead cycles accrued since the last call.
+
+        The performance harness adds these to request service time.
+        """
+        pending = self.pending_cycles
+        self.pending_cycles = 0
+        return pending
+
+
+class FullRandomizer(_RandomizerBase):
+    """Fresh page per packet: maximal protection, maximal cost."""
+
+    def on_packet(self, driver, buffer) -> None:
+        """Driver hook: replace the just-used buffer with a new page."""
+        self.packets += 1
+        driver.ring.replace_buffer(buffer.index)
+        driver.stats.buffers_replaced += 1
+        self._charge(self.cost.alloc_cycles)
+
+
+class PartialRandomizer(_RandomizerBase):
+    """Permute the ring order every ``interval`` packets."""
+
+    def __init__(
+        self,
+        interval: int,
+        cost: RandomizationCost | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(cost)
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.interval = interval
+        self.rng = rng or random.Random(97)
+        self.shuffles = 0
+
+    def on_packet(self, driver, buffer) -> None:
+        """Driver hook: count packets; shuffle when the interval elapses."""
+        self.packets += 1
+        if self.packets % self.interval == 0:
+            driver.ring.shuffle_order(self.rng)
+            self.shuffles += 1
+            self._charge(
+                self.cost.shuffle_cycles_per_buffer * len(driver.ring.buffers)
+            )

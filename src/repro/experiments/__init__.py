@@ -1,0 +1,51 @@
+"""Experiment harnesses — one per table/figure of the paper's evaluation.
+
+Each harness builds the machine, runs the attack or workload, and returns a
+structured result whose ``format_rows()`` prints the same rows/series the
+paper reports.  Benchmarks (``benchmarks/``) and examples (``examples/``)
+are thin wrappers over these, so the numbers in EXPERIMENTS.md are
+regenerable from a single place.
+
+Default parameters are scaled to finish in CI time; every harness accepts
+the paper-scale parameters too (see each module's docstring and
+EXPERIMENTS.md for the exact scaling used).
+"""
+
+from repro.experiments.mapping import run_fig5, run_fig6
+from repro.experiments.footprint import run_fig7, run_fig8
+from repro.experiments.sequencing import run_table1
+from repro.experiments.covert_channel import (
+    run_fig10,
+    run_fig11,
+    run_fig12_chase,
+    run_fig12_multibuffer,
+)
+from repro.experiments.fingerprinting import run_fig13_login, run_fingerprint_accuracy
+from repro.experiments.defense_eval import run_fig14, run_fig15, run_fig16
+from repro.experiments.ablation import (
+    run_ddio_ways_ablation,
+    run_probe_rate_ablation,
+    run_randomization_interval_ablation,
+    run_ring_size_ablation,
+)
+
+__all__ = [
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_table1",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12_chase",
+    "run_fig12_multibuffer",
+    "run_fig13_login",
+    "run_fingerprint_accuracy",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16",
+    "run_ring_size_ablation",
+    "run_randomization_interval_ablation",
+    "run_ddio_ways_ablation",
+    "run_probe_rate_ablation",
+]

@@ -1,0 +1,251 @@
+"""Ablations for the design points the paper discusses but doesn't plot.
+
+* :func:`run_ring_size_ablation` — Section VI-c: "increasing the size of
+  the ring" as a mitigation.  A bigger ring spreads buffers over the same
+  256 page-aligned sets, so the per-set packet rate the spy sees drops and
+  full-coverage probing gets slower.
+* :func:`run_randomization_interval_ablation` — Section VI-b: how quickly
+  a recovered sequence goes stale as the partial-randomization interval
+  shrinks, measured as chase out-of-sync rate.
+* :func:`run_ddio_ways_ablation` — sensitivity of the leak to the DDIO
+  write-allocation limit (2 ways on real hardware): with more I/O ways a
+  burst parks more blocks per set before displacing the spy again.
+* :func:`run_probe_rate_ablation` — Table I's "fine-tuning the probe rate
+  is challenging": sequence quality vs probe rate, showing the sweet spot
+  between under-sampling and losing temporal order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attack.setup import MonitorFactory
+from repro.attack.timing import calibrate_threshold
+from repro.core.config import DDIOConfig, MachineConfig, RingConfig
+from repro.core.machine import Machine
+from repro.defense.randomization import PartialRandomizer
+from repro.net.traffic import ConstantStream
+
+
+def _with(base: MachineConfig, ring: RingConfig | None = None, ddio: DDIOConfig | None = None) -> MachineConfig:
+    return MachineConfig(
+        cache=base.cache,
+        ddio=ddio or base.ddio,
+        ring=ring or base.ring,
+        link=base.link,
+        timing=base.timing,
+        processor=base.processor,
+        memory_bytes=base.memory_bytes,
+        numa_nodes=base.numa_nodes,
+        seed=base.seed,
+    )
+
+
+@dataclass
+class RingSizeAblationResult:
+    """How a larger ring degrades the attacker's position (§VI-c).
+
+    The page-aligned set count is fixed by the cache geometry, so a larger
+    ring packs more buffers per set: fewer buffers are uniquely mapped
+    (the covert channel needs unique ones), each monitored buffer fills
+    less often (slower resynchronisation after a miss), and a recovered
+    sequence has more ambiguous shared-set nodes.
+    """
+
+    ring_sizes: list[int]
+    unique_buffer_fraction: list[float]
+    mean_buffers_per_hot_set: list[float]
+    ring_revolution_seconds: list[float]
+
+    def format_rows(self) -> list[str]:
+        rows = ["Ablation: ring size as a mitigation (§VI-c)"]
+        rows.append("  ring   unique-buffer%   buffers/hot-set   revolution(ms)")
+        for n, uniq, per_set, rev in zip(
+            self.ring_sizes,
+            self.unique_buffer_fraction,
+            self.mean_buffers_per_hot_set,
+            self.ring_revolution_seconds,
+        ):
+            rows.append(
+                f"  {n:5d}   {uniq:13.1%}   {per_set:15.2f}   {rev * 1e3:12.2f}"
+            )
+        return rows
+
+
+def run_ring_size_ablation(
+    config: MachineConfig | None = None,
+    ring_sizes: tuple[int, ...] = (32, 64, 128),
+    packet_rate: float = 100_000.0,
+    huge_pages: int = 4,
+) -> RingSizeAblationResult:
+    """Buffer-uniqueness and revisit-latency degradation per ring size."""
+    from repro.attack.groundtruth import buffers_per_page_aligned_set
+    from repro.attack.setup import unique_buffer_positions
+
+    base = config or MachineConfig().scaled_down()
+    unique_fraction: list[float] = []
+    per_hot_set: list[float] = []
+    revolution: list[float] = []
+    for n in ring_sizes:
+        ring = RingConfig(
+            n_descriptors=n,
+            buffer_size=base.ring.buffer_size,
+            page_size=base.ring.page_size,
+            copy_threshold=base.ring.copy_threshold,
+        )
+        machine = Machine(_with(base, ring=ring))
+        machine.install_nic()
+        unique = unique_buffer_positions(machine)
+        unique_fraction.append(len(unique) / n)
+        counts = buffers_per_page_aligned_set(machine)
+        per_hot_set.append(sum(counts.values()) / len(counts))
+        revolution.append(n / packet_rate)
+    return RingSizeAblationResult(
+        ring_sizes=list(ring_sizes),
+        unique_buffer_fraction=unique_fraction,
+        mean_buffers_per_hot_set=per_hot_set,
+        ring_revolution_seconds=revolution,
+    )
+
+
+@dataclass
+class RandomizationIntervalResult:
+    """Chase quality vs partial-randomization interval (§VI-b)."""
+
+    intervals: list[int]
+    out_of_sync_rates: list[float]
+    packets_seen: list[int]
+
+    def format_rows(self) -> list[str]:
+        rows = ["Ablation: partial randomization interval vs chase quality"]
+        rows.append("  interval(pkts)   out-of-sync   packets seen")
+        for i, oos, seen in zip(
+            self.intervals, self.out_of_sync_rates, self.packets_seen
+        ):
+            label = "never" if i == 0 else str(i)
+            rows.append(f"  {label:>13s}   {oos:10.1%}   {seen:10d}")
+        return rows
+
+
+def run_randomization_interval_ablation(
+    config: MachineConfig | None = None,
+    intervals: tuple[int, ...] = (0, 256, 64, 16),
+    n_packets: int = 120,
+    packet_rate: float = 40_000.0,
+    huge_pages: int = 4,
+) -> RandomizationIntervalResult:
+    """Chase a fixed stream under increasingly frequent ring shuffles.
+
+    ``interval == 0`` means no randomization (the vulnerable baseline).
+    The spy's monitors are built once, before any shuffle — exactly the
+    staleness the defense creates.
+    """
+    base = config or MachineConfig().scaled_down()
+    oos_rates: list[float] = []
+    seen: list[int] = []
+    for interval in intervals:
+        machine = Machine(_with(base))
+        machine.install_nic()
+        spy = machine.new_process("spy")
+        factory = MonitorFactory(machine, spy, calibrate_threshold(spy), huge_pages=huge_pages)
+        chaser = factory.full_ring_chaser(include_alt=False)
+        if interval > 0:
+            machine.driver.randomizer = PartialRandomizer(interval)
+        source = ConstantStream(size=256, rate_pps=packet_rate, protocol="broadcast")
+        chaser.prime_all()
+        source.attach(machine, machine.nic)
+        timeout = int(6 * machine.clock.frequency_hz / packet_rate)
+        result = chaser.chase(
+            n_packets, timeout_cycles=timeout, poll_wait=5_000, prime=False
+        )
+        source.stop()
+        oos_rates.append(result.out_of_sync_rate)
+        seen.append(result.packets_seen)
+    return RandomizationIntervalResult(
+        intervals=list(intervals), out_of_sync_rates=oos_rates, packets_seen=seen
+    )
+
+
+@dataclass
+class DdioWaysResult:
+    """Covert-channel quality vs the DDIO write-allocation limit."""
+
+    ways: list[int]
+    error_rates: list[float]
+
+    def format_rows(self) -> list[str]:
+        rows = ["Ablation: DDIO write-allocate ways vs covert error rate"]
+        rows.append("  io-ways   error")
+        for w, e in zip(self.ways, self.error_rates):
+            rows.append(f"  {w:7d}   {e:6.1%}")
+        return rows
+
+
+def run_ddio_ways_ablation(
+    config: MachineConfig | None = None,
+    ways_sweep: tuple[int, ...] = (1, 2, 4),
+    n_symbols: int = 40,
+    huge_pages: int = 4,
+) -> DdioWaysResult:
+    """Single-buffer ternary channel error rate per DDIO allocation limit."""
+    from repro.analysis.lfsr import lfsr_symbols
+    from repro.attack.covert import CovertReceiver, CovertTrojan, run_covert_channel
+    from repro.attack.setup import unique_buffer_positions
+
+    base = config or MachineConfig().scaled_down()
+    errors: list[float] = []
+    for io_ways in ways_sweep:
+        machine = Machine(_with(base, ddio=DDIOConfig(enabled=True, write_allocate_ways=io_ways)))
+        machine.install_nic()
+        spy = machine.new_process("spy")
+        factory = MonitorFactory(machine, spy, calibrate_threshold(spy), huge_pages=huge_pages)
+        position = unique_buffer_positions(machine)[0]
+        receiver = CovertReceiver(spy, [factory.stream_monitors(position)])
+        trojan = CovertTrojan(
+            alphabet=3, ring_size=len(machine.ring.buffers), rate_pps=400_000
+        )
+        symbols = lfsr_symbols(n_symbols, 3)
+        report = run_covert_channel(machine, receiver, trojan, symbols, 30_000)
+        errors.append(report.error_rate)
+    return DdioWaysResult(ways=list(ways_sweep), error_rates=errors)
+
+
+@dataclass
+class ProbeRateResult:
+    """Sequence quality vs probe rate (the Table I tuning discussion)."""
+
+    probe_rates_hz: list[float]
+    error_rates: list[float]
+
+    def format_rows(self) -> list[str]:
+        rows = ["Ablation: probe rate vs sequence recovery error"]
+        rows.append("  probe(Hz)    seq error")
+        for r, e in zip(self.probe_rates_hz, self.error_rates):
+            rows.append(f"  {r:9.0f}   {e:8.1%}")
+        return rows
+
+
+def run_probe_rate_ablation(
+    config: MachineConfig | None = None,
+    probe_rates_hz: tuple[float, ...] = (2_000.0, 8_000.0, 16_000.0, 32_000.0),
+    packet_rate: float = 15_000.0,
+    n_samples: int = 3000,
+    n_monitored: int = 16,
+    huge_pages: int = 4,
+) -> ProbeRateResult:
+    """Sweep the probe rate around the packet rate and score recovery."""
+    from repro.experiments.sequencing import run_table1
+
+    base = config or MachineConfig().scaled_down()
+    errors: list[float] = []
+    for rate in probe_rates_hz:
+        result = run_table1(
+            base,
+            n_monitored=n_monitored,
+            n_samples=n_samples,
+            packet_rate=packet_rate,
+            probe_rate_hz=rate,
+            huge_pages=huge_pages,
+        )
+        errors.append(result.error_rate)
+    return ProbeRateResult(probe_rates_hz=list(probe_rates_hz), error_rates=errors)

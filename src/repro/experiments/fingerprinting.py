@@ -1,0 +1,180 @@
+"""Fig. 13 and the Section V accuracy numbers: web fingerprinting.
+
+* :func:`run_fig13_login` — hotcrp.com login: original vs spy-recovered
+  packet-size vectors for a successful and a failed login (the four panels
+  of Fig. 13).
+* :func:`run_fingerprint_accuracy` — the 5-site closed world: train on a
+  few loads per site, then classify victim loads, with DDIO on or off
+  (paper: 89.7% with DDIO, 86.5% without).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.attack.fingerprint import (
+    CaptureConfig,
+    TraceCollector,
+    WebFingerprintAttack,
+    recovered_vs_original,
+)
+from repro.attack.setup import MonitorFactory
+from repro.attack.timing import calibrate_threshold
+from repro.core.config import DDIOConfig, MachineConfig
+from repro.core.machine import Machine
+from repro.net.websites import LoginTraceFactory, WebsiteCorpus
+
+
+def _fingerprint_rig(
+    config: MachineConfig | None,
+    ddio: bool,
+    huge_pages: int = 16,
+    trace_length: int = 100,
+):
+    cfg = config or MachineConfig().bench_scale()
+    cfg = MachineConfig(
+        cache=cfg.cache,
+        ddio=DDIOConfig(enabled=ddio),
+        ring=cfg.ring,
+        link=cfg.link,
+        timing=cfg.timing,
+        processor=cfg.processor,
+        memory_bytes=cfg.memory_bytes,
+        numa_nodes=cfg.numa_nodes,
+        seed=cfg.seed,
+    )
+    machine = Machine(cfg)
+    machine.install_nic()
+    spy = machine.new_process("spy")
+    threshold = calibrate_threshold(spy)
+    factory = MonitorFactory(machine, spy, threshold, huge_pages=huge_pages)
+    chaser = factory.full_ring_chaser()
+    capture = CaptureConfig(
+        trace_length=trace_length,
+        # Without DDIO the payload lags the header (driver read at
+        # +io_to_driver_latency, stack payload touch a further
+        # +payload_touch_delay); the spy must wait out both before sizing,
+        # which is exactly what costs it accuracy.
+        size_wait=0
+        if ddio
+        else cfg.timing.payload_touch_delay + cfg.timing.io_to_driver_latency,
+    )
+    collector = TraceCollector(machine, chaser, capture)
+    return machine, collector
+
+
+@dataclass
+class Fig13Result:
+    """Original vs recovered block-size vectors for the two login outcomes."""
+
+    success_original: list[int]
+    success_recovered: list[int]
+    failure_original: list[int]
+    failure_recovered: list[int]
+
+    @staticmethod
+    def _match_fraction(original: list[int], recovered: list[int]) -> float:
+        n = min(len(original), len(recovered))
+        if n == 0:
+            return 0.0
+        same = sum(1 for i in range(n) if original[i] == recovered[i])
+        return same / n
+
+    def format_rows(self) -> list[str]:
+        return [
+            "Fig.13: hotcrp login traces (first 100 packets, block sizes)",
+            f"  success: {len(self.success_recovered)} packets recovered, "
+            f"exact-match {self._match_fraction(self.success_original, self.success_recovered):.0%}",
+            f"  failure: {len(self.failure_recovered)} packets recovered, "
+            f"exact-match {self._match_fraction(self.failure_original, self.failure_recovered):.0%}",
+            f"  success head (orig): {self.success_original[:24]}",
+            f"  success head (rec.): {self.success_recovered[:24]}",
+            f"  failure head (orig): {self.failure_original[:24]}",
+            f"  failure head (rec.): {self.failure_recovered[:24]}",
+        ]
+
+
+def run_fig13_login(
+    config: MachineConfig | None = None,
+    huge_pages: int = 16,
+    trace_length: int = 100,
+    seed: int = 9,
+) -> Fig13Result:
+    """Capture a successful and a failed login through the side channel."""
+    machine, collector = _fingerprint_rig(
+        config, ddio=True, huge_pages=huge_pages, trace_length=trace_length
+    )
+    logins = LoginTraceFactory()
+    rng = random.Random(seed)
+    success_trace = logins.success(rng)
+    failure_trace = logins.failure(rng)
+    s_orig, s_rec = recovered_vs_original(collector, success_trace)
+    f_orig, f_rec = recovered_vs_original(collector, failure_trace)
+    return Fig13Result(
+        success_original=s_orig,
+        success_recovered=s_rec,
+        failure_original=f_orig,
+        failure_recovered=f_rec,
+    )
+
+
+@dataclass
+class FingerprintAccuracyResult:
+    """Closed-world accuracy, with and without DDIO."""
+
+    accuracy_ddio: float
+    accuracy_no_ddio: float
+    sites: list[str]
+    trials_per_site: int
+
+    def format_rows(self) -> list[str]:
+        return [
+            f"Section V: website fingerprinting over {len(self.sites)} sites, "
+            f"{self.trials_per_site} trials/site",
+            f"  accuracy with DDIO:    {self.accuracy_ddio:.1%}  (paper: 89.7%)",
+            f"  accuracy without DDIO: {self.accuracy_no_ddio:.1%}  (paper: 86.5%)",
+        ]
+
+
+def run_fingerprint_accuracy(
+    config: MachineConfig | None = None,
+    train_loads: int = 3,
+    trials_per_site: int = 4,
+    huge_pages: int = 16,
+    trace_length: int = 100,
+    seed: int = 77,
+    noise_pps: float = 350.0,
+) -> FingerprintAccuracyResult:
+    """Train + evaluate the attack with DDIO on, then off.
+
+    ``noise_pps`` adds background traffic (other flows on the host) during
+    every capture — the realism term that keeps accuracy below 100%.
+    Without DDIO the spy also probes with the payload-lag delay, which adds
+    its own noise (the paper's 89.7% -> 86.5% drop).
+    """
+    from repro.net.traffic import PoissonNoise
+
+    corpus = WebsiteCorpus()
+    accuracies: dict[bool, float] = {}
+    for ddio in (True, False):
+        machine, collector = _fingerprint_rig(
+            config, ddio=ddio, trace_length=trace_length, huge_pages=huge_pages
+        )
+        if noise_pps > 0:
+            noise = PoissonNoise(
+                rate_pps=noise_pps,
+                rng=random.Random(seed + (1 if ddio else 2)),
+            )
+            noise.attach(machine, machine.nic)
+        attack = WebFingerprintAttack(
+            collector, corpus, rng=random.Random(seed)
+        )
+        attack.train(loads_per_site=train_loads)
+        accuracies[ddio] = attack.evaluate(trials_per_site=trials_per_site)
+    return FingerprintAccuracyResult(
+        accuracy_ddio=accuracies[True],
+        accuracy_no_ddio=accuracies[False],
+        sites=corpus.names(),
+        trials_per_site=trials_per_site,
+    )

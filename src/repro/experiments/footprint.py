@@ -1,0 +1,149 @@
+"""Figs. 7 and 8: the attacker-visible cache footprint of incoming packets.
+
+Fig. 7 — monitor all page-aligned sets; the system is idle, then a remote
+sender broadcasts frames: buffer-hosting sets light up, empty sets stay
+dark.  Fig. 8 — repeat with constant-size streams of 1..4 cache blocks
+while monitoring the sets of buffer blocks 0..3: activity appears on the
+diagonal and above, with the one famous exception that 1-block packets
+still light block 1 because the driver prefetches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attack.evictionset import OracleEvictionSetBuilder
+from repro.attack.primeprobe import ProbeMonitor, SampleTrace
+from repro.attack.timing import calibrate_threshold
+from repro.core.config import MachineConfig
+from repro.core.machine import Machine
+from repro.net.traffic import ConstantStream
+
+
+@dataclass
+class Fig7Result:
+    """Idle vs receiving activity on every page-aligned set."""
+
+    idle_activity: list[float]
+    receiving_activity: list[float]
+    set_labels: list[str]
+
+    def active_while_receiving(self, cutoff: float = 0.02) -> int:
+        return sum(1 for a in self.receiving_activity if a >= cutoff)
+
+    def active_while_idle(self, cutoff: float = 0.02) -> int:
+        return sum(1 for a in self.idle_activity if a >= cutoff)
+
+    def format_rows(self) -> list[str]:
+        n = len(self.set_labels)
+        return [
+            f"Fig.7: monitored {n} page-aligned sets",
+            f"  active while idle:      {self.active_while_idle()} / {n}",
+            f"  active while receiving: {self.active_while_receiving()} / {n}",
+        ]
+
+
+def _spy_machine(config: MachineConfig | None):
+    machine = Machine(config or MachineConfig().bench_scale())
+    machine.install_nic()
+    spy = machine.new_process("spy")
+    threshold = calibrate_threshold(spy)
+    return machine, spy, threshold
+
+
+def run_fig7(
+    config: MachineConfig | None = None,
+    n_samples: int = 400,
+    wait_cycles: int = 20_000,
+    packet_rate: float = 200_000.0,
+    frame_size: int = 128,
+    huge_pages: int = 16,
+) -> Fig7Result:
+    """Monitor all page-aligned sets: idle first, then receiving."""
+    machine, spy, threshold = _spy_machine(config)
+    builder = OracleEvictionSetBuilder(spy, threshold, huge_pages=huge_pages)
+    groups = builder.build_page_aligned_groups(block=0)
+    monitor = ProbeMonitor(spy, groups)
+    idle = monitor.sample(n_samples, wait_cycles)
+    sender = ConstantStream(size=frame_size, rate_pps=packet_rate, protocol="broadcast")
+    sender.attach(machine, machine.nic)
+    receiving = monitor.sample(n_samples, wait_cycles)
+    sender.stop()
+    return Fig7Result(
+        idle_activity=idle.activity_fraction(),
+        receiving_activity=receiving.activity_fraction(),
+        set_labels=idle.set_labels,
+    )
+
+
+@dataclass
+class Fig8Result:
+    """activity[block_row][size_run] = mean active fraction over hot sets.
+
+    ``block_row`` is which buffer block's sets were monitored (0..3);
+    ``size_run`` is the constant packet size being streamed, in blocks
+    (1..4).  Expect activity at block_row < size_run... plus the block-1
+    row lighting up for 1-block packets (driver prefetch).
+    """
+
+    activity: list[list[float]]
+    active_cutoff: float = 0.05
+
+    def lit(self, block_row: int, size_run: int) -> bool:
+        return self.activity[block_row][size_run - 1] >= self.active_cutoff
+
+    def format_rows(self) -> list[str]:
+        rows = ["Fig.8: rows = monitored block, cols = packet size (blocks)"]
+        header = "        " + "".join(f"{s}-blk  " for s in range(1, 5))
+        rows.append(header)
+        for b, row in enumerate(self.activity):
+            cells = "".join(f"{v:5.2f}  " for v in row)
+            rows.append(f"  blk{b}  {cells}")
+        return rows
+
+
+def run_fig8(
+    config: MachineConfig | None = None,
+    n_samples: int = 150,
+    wait_cycles: int = 20_000,
+    packet_rate: float = 200_000.0,
+    huge_pages: int = 16,
+    max_block: int = 4,
+    n_buffers: int = 8,
+) -> Fig8Result:
+    """Constant-size runs of 1..max_block blocks vs block-0..3 monitors.
+
+    Monitors blocks 0..3 of ``n_buffers`` sampled ring buffers and reports
+    the mean activity per (monitored block, packet size) cell.
+    """
+    from repro.attack.setup import MonitorFactory, unique_buffer_positions
+
+    machine, spy, threshold = _spy_machine(config)
+    factory = MonitorFactory(machine, spy, threshold, huge_pages=huge_pages)
+    positions = unique_buffer_positions(machine)[:n_buffers]
+    if not positions:
+        raise RuntimeError("no uniquely-mapped buffers to monitor")
+    monitors = [
+        factory.buffer_monitor(p, blocks=tuple(range(max_block)), include_alt=False)
+        for p in positions
+    ]
+    # One flat monitor list: row-major (buffer, block).
+    flat_sets = [m.blocks[b] for m in monitors for b in range(max_block)]
+    probe = ProbeMonitor(spy, flat_sets)
+
+    activity: list[list[float]] = [[0.0] * max_block for _ in range(max_block)]
+    for size_blocks in range(1, max_block + 1):
+        sender = ConstantStream(
+            size=size_blocks * 64, rate_pps=packet_rate, protocol="broadcast"
+        )
+        sender.attach(machine, machine.nic)
+        trace = probe.sample(n_samples, wait_cycles)
+        sender.stop()
+        machine.idle(500_000)
+        fractions = trace.activity_fraction()
+        for block_row in range(max_block):
+            per_buffer = [
+                fractions[i * max_block + block_row] for i in range(len(monitors))
+            ]
+            activity[block_row][size_blocks - 1] = sum(per_buffer) / len(per_buffer)
+    return Fig8Result(activity=activity)

@@ -1,0 +1,133 @@
+"""Figs. 5 and 6: how ring buffers map onto the page-aligned cache sets.
+
+Fig. 5 instruments one driver initialisation and plots, per page-aligned
+cache set, how many of the 256 rx buffers start there (non-uniform: some
+sets get 5 buffers, ~a third get none).  Fig. 6 repeats the experiment over
+1000 driver initialisations and histograms the buffers-per-set counts.
+
+Both are *ground-truth* measurements (the paper instruments the driver);
+the attacker-side equivalent is the Fig. 7 footprint scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attack.evictionset import page_aligned_set_indices
+from repro.attack.groundtruth import buffers_per_page_aligned_set
+from repro.core.config import MachineConfig
+from repro.core.machine import Machine
+
+
+@dataclass
+class Fig5Result:
+    """Buffers mapped to each page-aligned set, one driver init."""
+
+    counts: list[int]  # indexed by page-aligned set position (0..n_sets-1)
+    n_buffers: int
+
+    @property
+    def n_page_aligned_sets(self) -> int:
+        return len(self.counts)
+
+    @property
+    def empty_sets(self) -> int:
+        return sum(1 for c in self.counts if c == 0)
+
+    @property
+    def max_buffers_on_one_set(self) -> int:
+        return max(self.counts) if self.counts else 0
+
+    def format_rows(self) -> list[str]:
+        rows = [
+            f"Fig.5: {self.n_buffers} buffers over "
+            f"{self.n_page_aligned_sets} page-aligned sets",
+            f"  empty sets: {self.empty_sets} "
+            f"({100 * self.empty_sets / self.n_page_aligned_sets:.1f}%)",
+            f"  max buffers on one set: {self.max_buffers_on_one_set}",
+        ]
+        return rows
+
+
+@dataclass
+class Fig6Result:
+    """Histogram of buffers-per-set over many driver initialisations."""
+
+    histogram: dict[int, int]  # buffers-per-set value -> set count (total)
+    instances: int
+    sets_per_instance: int
+
+    def frequency(self, k: int) -> float:
+        """Average number of sets (out of ``sets_per_instance``) holding
+        exactly ``k`` buffers, per instance — Fig. 6's x axis."""
+        return self.histogram.get(k, 0) / self.instances
+
+    def fraction_empty(self) -> float:
+        """Fraction of page-aligned sets with no buffer (paper: ~35%)."""
+        total = self.instances * self.sets_per_instance
+        return self.histogram.get(0, 0) / total
+
+    def format_rows(self) -> list[str]:
+        rows = [f"Fig.6: {self.instances} driver initialisations"]
+        for k in sorted(self.histogram):
+            rows.append(
+                f"  {k} buffer(s) -> {self.frequency(k):7.2f} sets/instance "
+                f"(paper axis: frequency out of {self.sets_per_instance})"
+            )
+        rows.append(f"  empty-set fraction: {self.fraction_empty():.2%} (paper ~35%)")
+        return rows
+
+
+def _page_aligned_flat_sets(machine: Machine) -> list[int]:
+    """All flat set ids a page-aligned address can map to."""
+    geometry = machine.llc.geometry
+    out = []
+    for slice_id in range(geometry.n_slices):
+        for index in page_aligned_set_indices(geometry, machine.physmem.page_size):
+            out.append(slice_id * geometry.sets_per_slice + index)
+    return out
+
+
+def run_fig5(config: MachineConfig | None = None) -> Fig5Result:
+    """One driver initialisation; count buffers per page-aligned set."""
+    machine = Machine(config or MachineConfig().bench_scale())
+    machine.install_nic()
+    mapping = buffers_per_page_aligned_set(machine)
+    counts = [mapping.get(flat, 0) for flat in _page_aligned_flat_sets(machine)]
+    return Fig5Result(counts=counts, n_buffers=len(machine.ring.buffers))
+
+
+def run_fig6(
+    instances: int = 1000, config: MachineConfig | None = None
+) -> Fig6Result:
+    """Repeat Fig. 5 over many initialisations and histogram the counts."""
+    if instances <= 0:
+        raise ValueError("instances must be positive")
+    base = config or MachineConfig().bench_scale()
+    histogram: dict[int, int] = {}
+    sets_per_instance = None
+    for i in range(instances):
+        cfg = MachineConfig(
+            cache=base.cache,
+            ddio=base.ddio,
+            ring=base.ring,
+            link=base.link,
+            timing=base.timing,
+            processor=base.processor,
+            memory_bytes=base.memory_bytes,
+            numa_nodes=base.numa_nodes,
+            seed=base.seed + i,
+        )
+        machine = Machine(cfg)
+        machine.install_nic()
+        mapping = buffers_per_page_aligned_set(machine)
+        flats = _page_aligned_flat_sets(machine)
+        sets_per_instance = len(flats)
+        for flat in flats:
+            k = mapping.get(flat, 0)
+            histogram[k] = histogram.get(k, 0) + 1
+    return Fig6Result(
+        histogram=histogram,
+        instances=instances,
+        sets_per_instance=sets_per_instance or 0,
+    )

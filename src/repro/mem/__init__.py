@@ -1,0 +1,20 @@
+"""Physical memory and address-space modelling.
+
+The attack's geometry comes entirely from *addresses*: rx buffers live on
+page-aligned physical pages, the attacker maps pages of its own and reasons
+about which cache sets they fall into.  This package models:
+
+* :class:`~repro.mem.physmem.PhysicalMemory` — a page-frame allocator with
+  NUMA node attribution (the IGB driver's reuse logic checks the node of
+  each buffer page) and DRAM traffic counters used by the defense
+  evaluation (Fig. 15).
+* :class:`~repro.mem.addrspace.AddressSpace` — a process' virtual address
+  space: 4 KB mappings with randomised frames (what an unprivileged spy
+  gets) and 2 MB huge-page mappings (contiguous frames, the standard
+  attacker technique for controlling set-index bits).
+"""
+
+from repro.mem.addrspace import AddressSpace
+from repro.mem.physmem import DramTraffic, PhysicalMemory
+
+__all__ = ["AddressSpace", "PhysicalMemory", "DramTraffic"]

@@ -1,0 +1,173 @@
+"""Physical page-frame allocator and DRAM traffic accounting."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class DramTraffic:
+    """Counters for memory-bus transactions (one line transfer each).
+
+    The defense evaluation (Fig. 15 of the paper) reports normalised memory
+    read and write traffic; these counters are incremented by the cache
+    hierarchy on fills and writebacks and by the NIC on direct-to-memory DMA
+    when DDIO is disabled.
+    """
+
+    reads: int = 0
+    writes: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class PhysicalMemory:
+    """A page-frame allocator over a flat physical address range.
+
+    Frames are handed out in a randomised order (an unprivileged process has
+    no control over frame placement), optionally restricted to a NUMA node.
+    Contiguous runs can be reserved for huge-page mappings.  Only frame
+    numbers are tracked, never contents — the attack depends on addresses,
+    not data.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total physical memory.
+    page_size:
+        Base page size (4096).
+    numa_nodes:
+        Number of NUMA nodes; the physical range is striped across nodes in
+        equal contiguous chunks, like a real dual-socket machine.
+    rng:
+        Source of randomness for frame placement.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int = 1 << 32,
+        page_size: int = 4096,
+        numa_nodes: int = 2,
+        rng: random.Random | None = None,
+    ) -> None:
+        if size_bytes % page_size:
+            raise ValueError("size_bytes must be a multiple of page_size")
+        if numa_nodes < 1:
+            raise ValueError(f"numa_nodes must be >= 1, got {numa_nodes}")
+        self.page_size = page_size
+        self.size_bytes = size_bytes
+        self.numa_nodes = numa_nodes
+        self.n_frames = size_bytes // page_size
+        self._rng = rng or random.Random(0)
+        self.traffic = DramTraffic()
+        self._frames_per_node = self.n_frames // numa_nodes
+        # Per-node free lists, pre-shuffled so alloc_frame is O(1) swap-pop.
+        self._free_lists: list[list[int]] = []
+        for node in range(numa_nodes):
+            lo = node * self._frames_per_node
+            hi = self.n_frames if node == numa_nodes - 1 else lo + self._frames_per_node
+            frames = list(range(lo, hi))
+            self._rng.shuffle(frames)
+            self._free_lists.append(frames)
+        self._free_set: set[int] = set(range(self.n_frames))
+
+    def node_of_frame(self, frame: int) -> int:
+        """NUMA node that owns physical frame ``frame``."""
+        if not 0 <= frame < self.n_frames:
+            raise ValueError(f"frame {frame} out of range")
+        return min(frame // self._frames_per_node, self.numa_nodes - 1)
+
+    def node_of_addr(self, paddr: int) -> int:
+        """NUMA node that owns physical address ``paddr``."""
+        return self.node_of_frame(paddr // self.page_size)
+
+    def _pop_from_node(self, node: int) -> int:
+        free = self._free_lists[node]
+        while free:
+            # Swap-pop a random entry so a freshly freed frame is not simply
+            # handed back to the next caller (the randomization defense
+            # depends on replacement pages actually moving).
+            idx = self._rng.randrange(len(free))
+            free[idx], free[-1] = free[-1], free[idx]
+            frame = free.pop()
+            if frame in self._free_set:
+                self._free_set.discard(frame)
+                return frame
+        raise MemoryError(f"out of physical frames on node {node}")
+
+    def alloc_frame(self, node: int | None = None) -> int:
+        """Allocate one random free frame, optionally on a specific node."""
+        if node is not None:
+            if not 0 <= node < self.numa_nodes:
+                raise ValueError(f"node {node} out of range")
+            return self._pop_from_node(node)
+        order = list(range(self.numa_nodes))
+        self._rng.shuffle(order)
+        for candidate in order:
+            try:
+                return self._pop_from_node(candidate)
+            except MemoryError:
+                continue
+        raise MemoryError("out of physical frames")
+
+    def alloc_frames(self, count: int, node: int | None = None) -> list[int]:
+        """Allocate ``count`` random free frames."""
+        return [self.alloc_frame(node) for _ in range(count)]
+
+    def alloc_contiguous(self, count: int, align_frames: int = 1) -> int:
+        """Allocate ``count`` physically contiguous frames; return the first.
+
+        Used for huge-page mappings (512 contiguous 4 KB frames, 2 MB
+        aligned) and for DMA coherent regions.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if align_frames <= 0:
+            raise ValueError(f"align_frames must be positive, got {align_frames}")
+        n_starts = (self.n_frames - count) // align_frames + 1
+        if n_starts <= 0:
+            raise MemoryError(f"no contiguous run of {count} frames available")
+
+        def claim(start: int) -> bool:
+            if all((start + i) in self._free_set for i in range(count)):
+                for i in range(count):
+                    self._free_set.discard(start + i)
+                return True
+            return False
+
+        # Memory is usually mostly free, so random probing succeeds quickly;
+        # fall back to a deterministic sweep if it does not.
+        for _ in range(64):
+            start = self._rng.randrange(n_starts) * align_frames
+            if claim(start):
+                return start
+        for idx in range(n_starts):
+            start = idx * align_frames
+            if claim(start):
+                return start
+        raise MemoryError(f"no contiguous run of {count} frames available")
+
+    def free_frame(self, frame: int) -> None:
+        """Return a frame to the free pool."""
+        if not 0 <= frame < self.n_frames:
+            raise ValueError(f"frame {frame} out of range")
+        if frame in self._free_set:
+            raise ValueError(f"double free of frame {frame}")
+        self._free_set.add(frame)
+        self._free_lists[self.node_of_frame(frame)].append(frame)
+
+    @property
+    def free_frames(self) -> int:
+        """Number of unallocated frames."""
+        return len(self._free_set)
+
+    def frame_addr(self, frame: int) -> int:
+        """Physical address of the start of ``frame``."""
+        return frame * self.page_size

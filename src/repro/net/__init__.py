@@ -1,0 +1,31 @@
+"""Network-side modelling: frames, paced traffic sources, website traces.
+
+The attack never reads packet *contents* — only sizes and timing matter —
+so frames here carry size and protocol metadata, not payload bytes.  Traffic
+sources schedule frame deliveries onto the machine's event queue, paced by
+the Ethernet line rate (:class:`repro.core.config.LinkConfig`), which is
+what bounds the covert channel's capacity in Section IV of the paper.
+"""
+
+from repro.net.packet import ETHERNET_HEADER_BYTES, Frame
+from repro.net.traffic import (
+    ConstantStream,
+    PatternStream,
+    PoissonNoise,
+    TraceReplay,
+    TrafficSource,
+)
+from repro.net.websites import LoginTraceFactory, WebsiteCorpus, WebsiteProfile
+
+__all__ = [
+    "Frame",
+    "ETHERNET_HEADER_BYTES",
+    "TrafficSource",
+    "ConstantStream",
+    "PatternStream",
+    "PoissonNoise",
+    "TraceReplay",
+    "WebsiteCorpus",
+    "WebsiteProfile",
+    "LoginTraceFactory",
+]

@@ -1,0 +1,56 @@
+"""Ethernet frame abstraction.
+
+Only metadata is modelled: the attack observes which cache blocks of an rx
+buffer are touched, which depends solely on the frame's size in 64-byte
+increments.  The Ethernet header is 26 bytes on the wire but what lands in
+the rx buffer is header + payload starting at the buffer base, so the
+number of cache blocks is ``ceil(size / 64)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+#: Ethernet MAC header: 6 dst + 6 src + 2 ethertype, plus VLAN allowance.
+ETHERNET_HEADER_BYTES = 14
+
+_frame_ids = itertools.count()
+
+
+@dataclass
+class Frame:
+    """One received Ethernet frame.
+
+    Parameters
+    ----------
+    size:
+        Total bytes placed into the rx buffer (header + payload).  Must be
+        between 60 (minimum frame, minus CRC) and the buffer size.
+    protocol:
+        Free-form protocol tag.  Frames with protocol ``"unknown"`` are
+        discarded by the driver after header inspection — the paper's covert
+        channel uses exactly such broadcast frames, which still land in the
+        cache under DDIO.
+    symbol:
+        Optional covert-channel symbol this frame encodes (set by the trojan,
+        used by experiments as ground truth; the spy never reads it).
+    """
+
+    size: int
+    protocol: str = "raw"
+    symbol: int | None = None
+    sent_time: int | None = None
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"frame size must be positive, got {self.size}")
+
+    def n_blocks(self, line_size: int = 64) -> int:
+        """Cache blocks the frame occupies in the rx buffer."""
+        return -(-self.size // line_size)
+
+    def is_broadcast(self) -> bool:
+        """Whether the frame is a broadcast (discarded above the driver)."""
+        return self.protocol in ("unknown", "broadcast")

@@ -1,0 +1,153 @@
+"""Synthetic website packet traces for the fingerprinting experiments.
+
+The paper's Section V attack fingerprints websites from the *sizes* of their
+response packets measured in cache-block granularity (Fig. 13), using traces
+captured with tcpdump during Firefox page loads.  Without network access we
+synthesise a corpus with the statistical structure the paper describes
+(citing Sinha et al.): packets congregate at the two ends of the spectrum —
+MTU-sized fragments of large objects and tiny control packets — while the
+*last* packet of each object falls anywhere in between, and it is largely
+those tail packets that identify a page.
+
+Each :class:`WebsiteProfile` is deterministic in its name and seed, and
+every simulated load jitters timing, occasionally drops/duplicates control
+packets and re-sizes tails slightly — mimicking load-to-load variation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+MTU_FRAME = 1514  # MTU + Ethernet header
+ACK_FRAME = 64
+
+
+@dataclass
+class WebsiteProfile:
+    """A synthetic website: a canonical packet-size/timing pattern.
+
+    The canonical trace is built object-by-object: a page is a set of
+    responses (HTML, scripts, images...), each a burst of MTU frames ending
+    in a tail frame whose size is object-specific, interleaved with ACKs.
+    """
+
+    name: str
+    seed: int = 0
+    n_objects_range: tuple[int, int] = (6, 18)
+    object_frames_range: tuple[int, int] = (1, 12)
+    base_gap_s: float = 150e-6
+    canonical: list[tuple[float, int]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        rng = random.Random(f"{self.name}:{self.seed}")
+        trace: list[tuple[float, int]] = []
+        n_objects = rng.randint(*self.n_objects_range)
+        # Initial request handshake: SYN-ACK-ish control frames.
+        trace.append((self.base_gap_s, ACK_FRAME))
+        trace.append((self.base_gap_s, rng.randint(200, 600)))
+        for _ in range(n_objects):
+            burst = rng.randint(*self.object_frames_range)
+            for _ in range(burst - 1):
+                trace.append((self.base_gap_s, MTU_FRAME))
+            # The object's tail frame: the discriminating feature.
+            trace.append((self.base_gap_s, rng.randint(66, MTU_FRAME)))
+            # Control/ack chatter between objects.
+            for _ in range(rng.randint(1, 3)):
+                trace.append((self.base_gap_s * 2, ACK_FRAME))
+        self.canonical = trace
+
+    def sample(
+        self,
+        rng: random.Random,
+        gap_jitter: float = 0.3,
+        drop_prob: float = 0.02,
+        dup_prob: float = 0.02,
+        tail_resize_prob: float = 0.05,
+    ) -> list[tuple[float, int]]:
+        """One simulated load: the canonical trace with realistic noise."""
+        out: list[tuple[float, int]] = []
+        for gap, size in self.canonical:
+            if size == ACK_FRAME and rng.random() < drop_prob:
+                continue
+            jittered_gap = gap * (1.0 + rng.uniform(-gap_jitter, gap_jitter))
+            if size not in (ACK_FRAME, MTU_FRAME) and rng.random() < tail_resize_prob:
+                size = max(ACK_FRAME, min(MTU_FRAME, size + rng.randint(-64, 64)))
+            out.append((jittered_gap, size))
+            if size == ACK_FRAME and rng.random() < dup_prob:
+                out.append((jittered_gap * 0.5, ACK_FRAME))
+        return out
+
+    def canonical_block_sizes(self, line_size: int = 64, cap: int = 4) -> list[int]:
+        """Canonical sizes in cache-block granularity, capped at ``cap``
+        (the attacker distinguishes 1, 2, 3 and "4 or more" blocks)."""
+        return [min(cap, -(-size // line_size)) for _, size in self.canonical]
+
+
+class WebsiteCorpus:
+    """The paper's closed-world corpus: five well-known sites."""
+
+    DEFAULT_SITES = (
+        "facebook.com",
+        "twitter.com",
+        "google.com",
+        "amazon.com",
+        "apple.com",
+    )
+
+    def __init__(self, sites: tuple[str, ...] | None = None, seed: int = 7) -> None:
+        names = sites or self.DEFAULT_SITES
+        self.profiles = {name: WebsiteProfile(name, seed=seed) for name in names}
+
+    def __iter__(self):
+        return iter(self.profiles.values())
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def names(self) -> list[str]:
+        return list(self.profiles)
+
+    def get(self, name: str) -> WebsiteProfile:
+        try:
+            return self.profiles[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown site {name!r}; corpus has {sorted(self.profiles)}"
+            ) from None
+
+
+class LoginTraceFactory:
+    """Synthetic hotcrp.com login traces (Fig. 13).
+
+    A successful login triggers a redirect plus a personalised dashboard
+    (more, larger responses); a failed login re-renders the small login form
+    with an error banner.  The two therefore differ visibly in the first
+    ~100 packet sizes, which is exactly what the paper's figure shows.
+    """
+
+    def __init__(self, seed: int = 11) -> None:
+        self._success = WebsiteProfile(
+            "hotcrp.com/login-success",
+            seed=seed,
+            n_objects_range=(10, 14),
+            object_frames_range=(2, 10),
+        )
+        self._failure = WebsiteProfile(
+            "hotcrp.com/login-failure",
+            seed=seed + 1,
+            n_objects_range=(3, 5),
+            object_frames_range=(1, 4),
+        )
+
+    def success(self, rng: random.Random) -> list[tuple[float, int]]:
+        """One successful-login load trace."""
+        return self._success.sample(rng)
+
+    def failure(self, rng: random.Random) -> list[tuple[float, int]]:
+        """One failed-login load trace."""
+        return self._failure.sample(rng)
+
+    @property
+    def profiles(self) -> dict[str, WebsiteProfile]:
+        return {"success": self._success, "failure": self._failure}

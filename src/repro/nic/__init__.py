@@ -1,0 +1,24 @@
+"""NIC and driver model: rx descriptor ring, DMA engine, IGB driver logic.
+
+This package reproduces the driver behaviour that Section III-A of the
+paper deconstructs, because that behaviour *is* the leak:
+
+* the driver allocates 256 rx buffers of 2048 bytes, packed two per 4 KB
+  page, page/half-page aligned (:class:`~repro.nic.ring.RxRing`);
+* buffers are recycled in a fixed order for the lifetime of the driver, so
+  the fill sequence is stable (:class:`~repro.nic.ring.RxRing`);
+* small frames (<= 256 B) are copied into the skb and the buffer is reused
+  as-is; larger frames hand the half-page to the stack and flip the page
+  offset (:class:`~repro.nic.driver.IgbDriver`, Figs. 3/4 of the paper);
+* the driver always touches the first *two* blocks of a buffer (header
+  prefetch) — the reason 1-block packets light up block 1 in Fig. 8;
+* with DDIO the NIC writes every block of the frame straight into the LLC;
+  without it, DMA goes to DRAM and blocks enter the cache only when the
+  driver/stack reads them (:class:`~repro.nic.nic.Nic`).
+"""
+
+from repro.nic.driver import IgbDriver
+from repro.nic.nic import Nic
+from repro.nic.ring import RxBuffer, RxRing
+
+__all__ = ["IgbDriver", "Nic", "RxBuffer", "RxRing"]

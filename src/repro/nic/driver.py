@@ -1,0 +1,191 @@
+"""Model of the IGB driver's receive path (Figs. 3 and 4 of the paper).
+
+The driver runs on its own core: its memory accesses hit the shared LLC at
+the simulated instant they occur but do not advance the global clock (which
+is driven by the process under observation, usually the spy).
+
+Receive-path behaviour reproduced here:
+
+* **Header prefetch** — the driver always reads the first two cache blocks
+  of the buffer, regardless of frame size.  This is why 1-block packets
+  still produce activity on block 1 (Fig. 8's one anomaly).
+* **Small frames** (<= ``copy_threshold``): ``igb_add_rx_frag`` memcpys the
+  payload into the skb, reading every block of the frame, and reuses the
+  buffer as-is — unless the page is on a remote NUMA node, in which case it
+  is released and a fresh buffer allocated.
+* **Large frames**: the half-page is attached to the skb as a fragment;
+  ``igb_can_reuse_rx_page`` flips ``page_offset`` to the other half unless
+  the page is remote or still shared with the stack (rare), in which case
+  the buffer is replaced.
+* **Broadcast/unknown protocol**: discarded right after the header check —
+  no skb, no flip — yet the payload already sits in the LLC if DDIO wrote
+  it there, which is what makes the covert channel stealthy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.config import RingConfig
+from repro.net.packet import Frame
+from repro.nic.ring import RxBuffer, RxRing
+
+
+@dataclass
+class DriverStats:
+    """Receive-path counters."""
+
+    frames: int = 0
+    discarded: int = 0
+    copied: int = 0
+    fragged: int = 0
+    page_flips: int = 0
+    buffers_replaced: int = 0
+
+
+@dataclass
+class ReceiveRecord:
+    """Ground-truth log entry for one received frame (experiment use only —
+    nothing attacker-visible lives here)."""
+
+    time: int
+    ring_slot: int
+    page_paddr: int
+    dma_paddr: int
+    n_blocks: int
+    size: int
+    symbol: int | None = None
+
+
+class IgbDriver:
+    """The driver half of the receive path."""
+
+    def __init__(
+        self,
+        machine,
+        ring: RxRing,
+        config: RingConfig | None = None,
+        shared_page_prob: float = 0.0,
+        log_receives: bool = False,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.machine = machine
+        self.ring = ring
+        self.config = config or ring.config
+        self.shared_page_prob = shared_page_prob
+        self.stats = DriverStats()
+        self.rng = rng or random.Random(17)
+        self.local_node = ring.node
+        self.log_receives = log_receives
+        self.receive_log: list[ReceiveRecord] = []
+        #: Optional randomization defense (see repro.defense.randomization).
+        self.randomizer = None
+        self._line = machine.llc.geometry.line_size
+        # skb slab: a modest recycled kernel region the copy path writes to.
+        self._skb_region = machine.kernel.mmap(16)
+        self._skb_cursor = 0
+        self._skb_lines = 16 * machine.physmem.page_size // self._line
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def receive(self, frame: Frame, buffer: RxBuffer, ring_slot: int) -> None:
+        """Process one frame that the NIC has DMA'd into ``buffer``."""
+        llc = self.machine.llc
+        now = self.machine.clock.now
+        base = buffer.dma_paddr
+        self.stats.frames += 1
+        if self.log_receives:
+            self.receive_log.append(
+                ReceiveRecord(
+                    time=now,
+                    ring_slot=ring_slot,
+                    page_paddr=buffer.page_paddr,
+                    dma_paddr=base,
+                    n_blocks=frame.n_blocks(self._line),
+                    size=frame.size,
+                    symbol=frame.symbol,
+                )
+            )
+        # Header read + unconditional prefetch of the second block.
+        llc.cpu_access(base, now=now)
+        llc.cpu_access(base + self._line, now=now)
+
+        if frame.is_broadcast():
+            # Unknown protocol: dropped before any skb is built.
+            self.stats.discarded += 1
+            self._after_packet(buffer)
+            return
+
+        if frame.size <= self.config.copy_threshold:
+            self._copy_small(frame, buffer)
+        else:
+            self._frag_large(frame, buffer)
+        self._after_packet(buffer)
+
+    def _copy_small(self, frame: Frame, buffer: RxBuffer) -> None:
+        """memcpy path of igb_add_rx_frag: read frame, write into skb."""
+        llc = self.machine.llc
+        now = self.machine.clock.now
+        base = buffer.dma_paddr
+        n_blocks = frame.n_blocks(self._line)
+        for i in range(n_blocks):
+            llc.cpu_access(base + i * self._line, now=now)
+        self._skb_write(n_blocks)
+        self.stats.copied += 1
+        if buffer.node != self.local_node:
+            # Remote page: put_page + fresh allocation (cannot be reused).
+            self._replace(buffer)
+
+    def _frag_large(self, frame: Frame, buffer: RxBuffer) -> None:
+        """Fragment path: hand the half-page to the stack, try to reuse."""
+        llc = self.machine.llc
+        now = self.machine.clock.now
+        base = buffer.dma_paddr
+        n_blocks = frame.n_blocks(self._line)
+        if llc.ddio.enabled:
+            # Payload is already cache-resident; the stack reads it now.
+            for i in range(2, n_blocks):
+                llc.cpu_access(base + i * self._line, now=now)
+        else:
+            # Without DDIO the stack touches the payload noticeably after
+            # the header (Huggahalli et al.: < 20k cycles) — the lag that
+            # makes size detection of large packets noisier (Section IV-d).
+            delay = llc.timing.payload_touch_delay
+
+            def touch_payload(base=base, n_blocks=n_blocks) -> None:
+                later = self.machine.clock.now
+                for i in range(2, n_blocks):
+                    llc.cpu_access(base + i * self._line, now=later)
+
+            self.machine.events.schedule(now + delay, touch_payload, label="payload")
+        self._skb_write(2)  # skb metadata only; payload stays in the page
+        self.stats.fragged += 1
+        if buffer.node != self.local_node or self.rng.random() < self.shared_page_prob:
+            self._replace(buffer)
+        else:
+            buffer.flip(self.config.buffer_size)
+            self.stats.page_flips += 1
+
+    def _replace(self, buffer: RxBuffer) -> None:
+        self.ring.replace_buffer(buffer.index)
+        self.stats.buffers_replaced += 1
+
+    def _after_packet(self, buffer: RxBuffer) -> None:
+        if self.randomizer is not None:
+            self.randomizer.on_packet(self, buffer)
+
+    # ------------------------------------------------------------------
+    # skb slab
+    # ------------------------------------------------------------------
+    def _skb_write(self, n_lines: int) -> None:
+        """Write ``n_lines`` cache lines of skb data (recycled slab)."""
+        llc = self.machine.llc
+        kernel = self.machine.kernel
+        now = self.machine.clock.now
+        base_vaddr = self._skb_region
+        for _ in range(n_lines):
+            vaddr = base_vaddr + (self._skb_cursor % self._skb_lines) * self._line
+            llc.cpu_access(kernel.translate(vaddr), write=True, now=now)
+            self._skb_cursor += 1

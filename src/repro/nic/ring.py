@@ -1,0 +1,119 @@
+"""The rx descriptor ring and its buffers.
+
+The ring is a circular array of descriptors shared between NIC and driver
+(Fig. 1 of the paper).  Each descriptor points at a 2048-byte buffer: the
+first or second half of a 4 KB kernel page.  Because descriptor writes are
+expensive (coherent DMA memory), the driver recycles buffers instead of
+re-allocating them, so the *order in which buffers receive packets is fixed*
+— the property the SEQUENCER attack recovers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.config import RingConfig
+from repro.mem.physmem import PhysicalMemory
+
+
+@dataclass
+class RxBuffer:
+    """One rx buffer: half of a DMA-mapped kernel page.
+
+    ``page_paddr`` is the physical address of the page; ``page_offset`` is 0
+    or 2048 and selects the half currently owned by the NIC.  The driver
+    flips ``page_offset`` when it gives a half to the networking stack
+    (large packets), so consecutive large packets alternate halves.
+    """
+
+    index: int
+    page_paddr: int
+    page_offset: int = 0
+    node: int = 0
+
+    @property
+    def dma_paddr(self) -> int:
+        """Physical address the NIC will DMA the next frame into."""
+        return self.page_paddr + self.page_offset
+
+    def flip(self, buffer_size: int) -> None:
+        """Flip to the other half of the page (igb_can_reuse_rx_page)."""
+        self.page_offset ^= buffer_size
+
+
+class RxRing:
+    """Circular buffer of rx descriptors with stable recycling order."""
+
+    def __init__(
+        self,
+        physmem: PhysicalMemory,
+        config: RingConfig | None = None,
+        node: int = 0,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.physmem = physmem
+        self.config = config or RingConfig()
+        self.node = node
+        self._rng = rng or random.Random(0)
+        self.buffers: list[RxBuffer] = []
+        for index in range(self.config.n_descriptors):
+            self.buffers.append(self._allocate_buffer(index))
+        self.head = 0
+        #: Total frames ever placed into the ring (monotonic).
+        self.fill_count = 0
+
+    def _allocate_buffer(self, index: int) -> RxBuffer:
+        frame = self.physmem.alloc_frame(node=self.node)
+        return RxBuffer(
+            index=index,
+            page_paddr=self.physmem.frame_addr(frame),
+            page_offset=0,
+            node=self.physmem.node_of_frame(frame),
+        )
+
+    def __len__(self) -> int:
+        return len(self.buffers)
+
+    def next_buffer(self) -> RxBuffer:
+        """The buffer the next incoming frame will be DMA'd into."""
+        return self.buffers[self.head]
+
+    def advance(self) -> RxBuffer:
+        """Consume the head descriptor; returns the buffer just filled."""
+        buffer = self.buffers[self.head]
+        self.head = (self.head + 1) % len(self.buffers)
+        self.fill_count += 1
+        return buffer
+
+    def replace_buffer(self, index: int) -> RxBuffer:
+        """Allocate a fresh page for descriptor ``index`` (remote page, or a
+        randomization defense); frees the old page."""
+        old = self.buffers[index]
+        self.physmem.free_frame(old.page_paddr // self.physmem.page_size)
+        new = self._allocate_buffer(index)
+        self.buffers[index] = new
+        return new
+
+    def shuffle_order(self, rng: random.Random | None = None) -> None:
+        """Permute descriptor order in place (partial-randomization defense).
+
+        Buffers keep their pages; only the order in which they will be
+        filled changes, which is what invalidates a recovered sequence.
+        """
+        r = rng or self._rng
+        r.shuffle(self.buffers)
+        for i, buffer in enumerate(self.buffers):
+            buffer.index = i
+
+    # ------------------------------------------------------------------
+    # Ground truth for experiments
+    # ------------------------------------------------------------------
+    def page_paddrs(self) -> list[int]:
+        """Physical page addresses of all buffers, in ring order."""
+        return [b.page_paddr for b in self.buffers]
+
+    def order_fingerprint(self) -> tuple[int, ...]:
+        """Immutable snapshot of the current buffer order (page addresses),
+        used by tests to detect reordering."""
+        return tuple(b.page_paddr for b in self.buffers)

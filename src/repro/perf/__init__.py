@@ -1,0 +1,28 @@
+"""Performance model for the defense evaluation (Figs. 14-16).
+
+The paper evaluates its defense in gem5 full-system mode; here the same
+*relative* comparisons (No-DDIO vs DDIO vs adaptive partitioning vs the
+randomization schemes) come from a trace-driven model: workloads issue
+memory accesses through an L1 + shared-LLC hierarchy and through the real
+NIC/driver path, so throughput, DRAM traffic, miss rates and tail latency
+all derive from the same cache simulator the attack runs on.
+
+* :mod:`repro.perf.agent` — a process + private L1 issuing timed accesses.
+* :mod:`repro.perf.workloads` — dd-style file copy, small-payload TCP
+  receive, and an Nginx-like request server (the paper's workload mix).
+* :mod:`repro.perf.wrk` — an open-loop constant-rate load generator with
+  latency percentiles, standing in for wrk2.
+"""
+
+from repro.perf.agent import MemAgent
+from repro.perf.workloads import FileCopyWorkload, NginxServer, TcpRecvWorkload
+from repro.perf.wrk import LatencyReport, LoadGenerator
+
+__all__ = [
+    "MemAgent",
+    "FileCopyWorkload",
+    "NginxServer",
+    "TcpRecvWorkload",
+    "LatencyReport",
+    "LoadGenerator",
+]

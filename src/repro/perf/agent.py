@@ -1,0 +1,64 @@
+"""A workload's memory agent: process + private L1 over the shared LLC."""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import CacheHierarchy, L1Cache
+
+
+class MemAgent:
+    """Issues loads/stores for a victim workload through L1 + LLC.
+
+    Unlike the spy (which deliberately works at LLC granularity), victim
+    workloads have the normal locality structure, so an L1 in front of the
+    LLC matters for realistic traffic: hot lines filter out, and only the
+    L1 miss stream reaches the shared cache.
+    """
+
+    def __init__(self, machine, name: str, l1_kb: int = 32, l1_ways: int = 8) -> None:
+        self.machine = machine
+        self.process = machine.new_process(name)
+        self.hierarchy = CacheHierarchy(
+            machine.llc,
+            l1=L1Cache(size_kb=l1_kb, ways=l1_ways, line_size=machine.llc.geometry.line_size),
+        )
+        self.cycles_spent = 0
+
+    # ------------------------------------------------------------------
+    # Mapping (delegates to the process address space)
+    # ------------------------------------------------------------------
+    def mmap(self, n_pages: int) -> int:
+        return self.process.mmap(n_pages)
+
+    # ------------------------------------------------------------------
+    # Accesses
+    # ------------------------------------------------------------------
+    def read(self, vaddr: int) -> int:
+        """Timed load; advances the machine clock, returns latency."""
+        return self._access(vaddr, write=False)
+
+    def write(self, vaddr: int) -> int:
+        """Timed store; advances the machine clock, returns latency."""
+        return self._access(vaddr, write=True)
+
+    def _access(self, vaddr: int, write: bool) -> int:
+        machine = self.machine
+        machine.events.run_due(machine.clock.now)
+        paddr = self.process.addrspace.translate(vaddr)
+        _hit, latency = self.hierarchy.access(paddr, write=write, now=machine.clock.now)
+        machine.clock.advance(latency)
+        self.cycles_spent += latency
+        return latency
+
+    def read_kernel(self, paddr: int) -> int:
+        """Timed load of a kernel physical address (skb data, rx pages)."""
+        machine = self.machine
+        machine.events.run_due(machine.clock.now)
+        _hit, latency = self.hierarchy.access(paddr, write=False, now=machine.clock.now)
+        machine.clock.advance(latency)
+        self.cycles_spent += latency
+        return latency
+
+    def compute(self, cycles: int) -> None:
+        """Non-memory work."""
+        self.machine.idle(cycles)
+        self.cycles_spent += cycles

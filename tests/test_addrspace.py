@@ -1,0 +1,91 @@
+"""Unit tests for virtual address spaces (4 KB and huge-page mappings)."""
+
+import pytest
+
+from repro.mem.addrspace import HUGE_PAGE_SIZE, AddressSpace
+from repro.mem.physmem import PhysicalMemory
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(PhysicalMemory(size_bytes=1 << 26), "test")
+
+
+class TestSmallPages:
+    def test_mmap_translates(self, space):
+        base = space.mmap(4)
+        paddr = space.translate(base)
+        assert paddr % space.page_size == 0
+
+    def test_offset_preserved(self, space):
+        base = space.mmap(1)
+        assert space.translate(base + 123) % space.page_size == 123
+
+    def test_unmapped_access_raises(self, space):
+        with pytest.raises(ValueError, match="segfault"):
+            space.translate(0xDEAD000)
+
+    def test_pages_get_distinct_frames(self, space):
+        base = space.mmap(8)
+        frames = {space.translate(base + i * 4096) // 4096 for i in range(8)}
+        assert len(frames) == 8
+
+    def test_small_pages_not_physically_contiguous(self, space):
+        """Unprivileged mappings land on randomised frames."""
+        base = space.mmap(16)
+        paddrs = [space.translate(base + i * 4096) for i in range(16)]
+        deltas = {paddrs[i + 1] - paddrs[i] for i in range(15)}
+        assert deltas != {4096}
+
+    def test_munmap_frees(self, space):
+        before = space.physmem.free_frames
+        base = space.mmap(4)
+        space.munmap(base, 4)
+        assert space.physmem.free_frames == before
+
+    def test_munmap_unmapped_raises(self, space):
+        with pytest.raises(ValueError):
+            space.munmap(0x7000_0000, 1)
+
+    def test_zero_pages_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.mmap(0)
+
+
+class TestHugePages:
+    def test_huge_page_physically_contiguous(self, space):
+        base = space.mmap_huge(1)
+        paddrs = [space.translate(base + i * 4096) for i in range(512)]
+        assert all(paddrs[i + 1] - paddrs[i] == 4096 for i in range(511))
+
+    def test_huge_page_aligned(self, space):
+        base = space.mmap_huge(1)
+        assert base % HUGE_PAGE_SIZE == 0
+        assert space.translate(base) % HUGE_PAGE_SIZE == 0
+
+    def test_low_21_bits_transparent(self, space):
+        """Within a huge page, paddr low bits equal vaddr low bits — the
+        property that lets the spy compute set indices of its addresses."""
+        base = space.mmap_huge(2)
+        for offset in (0, 64, 4096, 123456, HUGE_PAGE_SIZE + 8192):
+            vaddr = base + offset
+            assert space.translate(vaddr) % HUGE_PAGE_SIZE == vaddr % HUGE_PAGE_SIZE
+
+    def test_multiple_huge_pages(self, space):
+        base = space.mmap_huge(3)
+        assert space.is_mapped(base + 2 * HUGE_PAGE_SIZE)
+
+    def test_zero_huge_pages_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.mmap_huge(0)
+
+
+class TestMapFixed:
+    def test_kernel_style_mapping(self, space):
+        frame = space.physmem.alloc_frame()
+        space.map_fixed(0xFFFF_0000, frame)
+        assert space.translate(0xFFFF_0000) == frame * 4096
+
+    def test_unaligned_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.map_fixed(0xFFFF_0001, 0)

@@ -1,0 +1,245 @@
+"""Unit + property tests for the analysis utilities."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.capacity import evaluate_channel
+from repro.analysis.correlation import CorrelationClassifier, cross_correlation
+from repro.analysis.levenshtein import (
+    best_rotation,
+    cyclic_levenshtein,
+    error_rate,
+    levenshtein,
+    longest_mismatch_run,
+)
+from repro.analysis.lfsr import LFSR, lfsr_bits, lfsr_symbols
+from repro.analysis.stats import confidence_interval, mean, percentile, percentiles
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein([1, 2, 3], [1, 2, 3]) == 0
+
+    def test_empty_vs_full(self):
+        assert levenshtein([], [1, 2, 3]) == 3
+
+    def test_substitution(self):
+        assert levenshtein("kitten", "sitten") == 1
+
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_cyclic_matches_any_rotation(self):
+        truth = [1, 2, 3, 4, 5]
+        assert cyclic_levenshtein([3, 4, 5, 1, 2], truth) == 0
+
+    def test_cyclic_counts_real_errors(self):
+        truth = [1, 2, 3, 4, 5]
+        assert cyclic_levenshtein([3, 4, 9, 1, 2], truth) == 1
+
+    def test_error_rate_normalised(self):
+        assert error_rate([1, 2], [1, 2, 3, 4]) == pytest.approx(0.5)
+
+    def test_error_rate_empty_truth_rejected(self):
+        with pytest.raises(ValueError):
+            error_rate([1], [])
+
+    def test_best_rotation_aligns(self):
+        truth = [1, 2, 3, 4]
+        assert best_rotation([3, 4, 1, 2], truth) == [3, 4, 1, 2]
+
+    def test_longest_mismatch_zero_for_identical(self):
+        assert longest_mismatch_run([1, 2, 3], [1, 2, 3]) == 0
+
+    def test_longest_mismatch_counts_run(self):
+        assert longest_mismatch_run([1, 9, 9, 9, 5], [1, 2, 3, 4, 5]) == 3
+
+    @given(
+        st.lists(st.integers(0, 5), max_size=20),
+        st.lists(st.integers(0, 5), max_size=20),
+    )
+    @settings(max_examples=60)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(
+        st.lists(st.integers(0, 5), max_size=15),
+        st.lists(st.integers(0, 5), max_size=15),
+        st.lists(st.integers(0, 5), max_size=15),
+    )
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(st.lists(st.integers(0, 5), max_size=20))
+    @settings(max_examples=40)
+    def test_identity_of_indiscernibles(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(
+        st.lists(st.integers(0, 3), min_size=1, max_size=12),
+        st.integers(0, 11),
+    )
+    @settings(max_examples=40)
+    def test_cyclic_invariant_under_rotation(self, seq, k):
+        rotated = seq[k % len(seq):] + seq[: k % len(seq)]
+        assert cyclic_levenshtein(rotated, seq) == 0
+
+
+class TestLFSR:
+    def test_full_period_15_bit(self):
+        lfsr = LFSR(width=15, seed=1)
+        states = set()
+        for _ in range(lfsr.period):
+            states.add(lfsr.state)
+            lfsr.next_bit()
+        assert len(states) == 2**15 - 1  # all states except zero
+
+    def test_never_reaches_zero(self):
+        lfsr = LFSR(width=7, seed=3)
+        for _ in range(lfsr.period):
+            lfsr.next_bit()
+            assert lfsr.state != 0
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(width=15, seed=0)
+
+    def test_unsupported_width_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(width=13)
+
+    def test_bits_balanced(self):
+        bits = lfsr_bits(2**15 - 1)
+        ones = sum(bits)
+        assert abs(ones - 2**14) <= 1  # maximal sequences are near-balanced
+
+    def test_symbols_in_range(self):
+        for symbol in lfsr_symbols(500, 3):
+            assert 0 <= symbol < 3
+
+    def test_symbols_cover_alphabet(self):
+        assert set(lfsr_symbols(200, 3)) == {0, 1, 2}
+
+    def test_deterministic_for_seed(self):
+        assert lfsr_bits(100, seed=7) == lfsr_bits(100, seed=7)
+
+    def test_alphabet_validation(self):
+        with pytest.raises(ValueError):
+            lfsr_symbols(10, 1)
+
+
+class TestCrossCorrelation:
+    def test_identical_traces_score_one(self):
+        t = [1, 4, 2, 4, 1, 3, 4, 4]
+        assert cross_correlation(t, t) == pytest.approx(1.0)
+
+    def test_shifted_trace_recovered_by_lag(self):
+        t = [1, 1, 4, 4, 4, 1, 1, 3, 3, 1, 4, 4]
+        shifted = t[2:] + [1, 1]
+        assert cross_correlation(t, shifted, max_lag=4) > 0.7
+
+    def test_constant_trace_scores_zero(self):
+        assert cross_correlation([2, 2, 2], [1, 4, 1]) == 0.0
+
+    def test_empty_scores_zero(self):
+        assert cross_correlation([], [1]) == 0.0
+
+
+class TestCorrelationClassifier:
+    def _training(self):
+        return {
+            "a": [[4, 4, 1, 1, 4, 4, 1, 1]] * 3,
+            "b": [[1, 1, 4, 4, 1, 1, 4, 4]] * 3,
+        }
+
+    def test_classifies_training_shape(self):
+        clf = CorrelationClassifier(trace_length=8, max_lag=0)
+        clf.fit(self._training())
+        assert clf.classify([4, 4, 1, 1, 4, 4, 1, 1]) == "a"
+        assert clf.classify([1, 1, 4, 4, 1, 1, 4, 4]) == "b"
+
+    def test_accuracy_helper(self):
+        clf = CorrelationClassifier(trace_length=8, max_lag=0)
+        clf.fit(self._training())
+        acc = clf.accuracy(
+            [("a", [4, 4, 1, 1, 4, 4, 1, 1]), ("b", [1, 1, 4, 4, 1, 1, 4, 4])]
+        )
+        assert acc == 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CorrelationClassifier().classify([1, 2])
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            CorrelationClassifier().fit({})
+
+    def test_short_traces_padded(self):
+        clf = CorrelationClassifier(trace_length=16)
+        clf.fit(self._training())
+        assert clf.classify([4, 4, 1]) in ("a", "b")
+
+
+class TestChannelReport:
+    def test_bandwidth_math(self):
+        report = evaluate_channel([0, 1] * 50, [0, 1] * 50, 1.0, alphabet=2)
+        assert report.bandwidth_bps == pytest.approx(100.0)
+        assert report.error_rate == 0.0
+        assert report.effective_bandwidth_bps == pytest.approx(100.0)
+
+    def test_error_rate_from_edit_distance(self):
+        report = evaluate_channel([0, 1, 0, 1], [0, 1, 1, 1], 1.0, alphabet=2)
+        assert report.error_rate == pytest.approx(0.25)
+
+    def test_ternary_bits_per_symbol(self):
+        report = evaluate_channel([0] * 100, [0] * 100, 1.0, alphabet=3)
+        assert report.bandwidth_bps == pytest.approx(100 * math.log2(3))
+
+    def test_erroneous_channel_loses_capacity(self):
+        good = evaluate_channel([0, 1] * 50, [0, 1] * 50, 1.0, 2)
+        bad = evaluate_channel([0, 1] * 50, [0, 0] * 50, 1.0, 2)
+        assert bad.effective_bandwidth_bps < good.effective_bandwidth_bps
+
+    def test_empty_sent_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_channel([], [], 1.0, 2)
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_confidence_interval_brackets_mean(self):
+        mu, lo, hi = confidence_interval([10, 12, 11, 13, 9])
+        assert lo <= mu <= hi
+
+    def test_percentile_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 99) == 99
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+
+    def test_percentiles_batch_matches_single(self):
+        values = [5, 1, 9, 7, 3]
+        batch = percentiles(values, (25, 99))
+        assert batch[25] == percentile(values, 25)
+        assert batch[99] == percentile(values, 99)
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    @settings(max_examples=40)
+    def test_percentile_within_range(self, values):
+        p = percentile(values, 90)
+        assert min(values) <= p <= max(values)

@@ -1,0 +1,134 @@
+"""Unit tests for the simulation clock and event queue."""
+
+import pytest
+
+from repro.core.clock import SimClock
+from repro.core.events import EventQueue
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.now == 15
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = SimClock()
+        clock.advance(100)
+        clock.advance_to(50)
+        assert clock.now == 100
+        clock.advance_to(150)
+        assert clock.now == 150
+
+    def test_seconds_conversion(self):
+        clock = SimClock(frequency_hz=1e9)
+        clock.advance(2_000_000_000)
+        assert clock.seconds() == pytest.approx(2.0)
+
+    def test_cycles_conversion_roundtrip(self):
+        clock = SimClock(frequency_hz=3.3e9)
+        assert clock.cycles(1.0) == 3_300_000_000
+        assert clock.cycles(0) == 0
+
+    def test_cycles_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().cycles(-0.5)
+
+    def test_default_frequency_is_table2(self):
+        assert SimClock().frequency_hz == pytest.approx(3.3e9)
+
+
+class TestEventQueue:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(30, lambda: fired.append("c"))
+        q.schedule(10, lambda: fired.append("a"))
+        q.schedule(20, lambda: fired.append("b"))
+        q.run_due(30)
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        q = EventQueue()
+        fired = []
+        for tag in "abc":
+            q.schedule(5, lambda t=tag: fired.append(t))
+        q.run_due(5)
+        assert fired == ["a", "b", "c"]
+
+    def test_run_due_skips_future(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(100, lambda: fired.append("later"))
+        assert q.run_due(99) == 0
+        assert fired == []
+        assert q.run_due(100) == 1
+
+    def test_cancelled_event_does_not_fire(self):
+        q = EventQueue()
+        fired = []
+        ev = q.schedule(10, lambda: fired.append("x"))
+        ev.cancel()
+        q.run_due(10)
+        assert fired == []
+
+    def test_len_ignores_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(1, lambda: None)
+        q.schedule(2, lambda: None)
+        assert len(q) == 2
+        ev.cancel()
+        assert len(q) == 1
+
+    def test_event_may_schedule_due_event(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(10, lambda: q.schedule(10, lambda: fired.append("nested")))
+        q.run_due(10)
+        assert fired == ["nested"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1, lambda: None)
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.schedule(42, lambda: None)
+        assert q.peek_time() == 42
+
+    def test_run_until_empty_advances_clock(self):
+        from repro.core.clock import SimClock
+
+        q = EventQueue()
+        clock = SimClock()
+        times = []
+        q.schedule(50, lambda: times.append(clock.now))
+        q.schedule(90, lambda: times.append(clock.now))
+        q.run_until_empty(clock)
+        assert times == [50, 90]
+        assert clock.now == 90
+
+
+class TestMachineIdle:
+    def test_idle_fires_due_events(self, machine):
+        fired = []
+        machine.events.schedule(1000, lambda: fired.append(machine.clock.now))
+        machine.idle(2000)
+        assert fired == [1000]
+        assert machine.clock.now == 2000
+
+    def test_idle_leaves_future_events(self, machine):
+        fired = []
+        machine.events.schedule(5000, lambda: fired.append(True))
+        machine.idle(1000)
+        assert fired == []
+        assert len(machine.events) == 1

@@ -1,0 +1,108 @@
+"""Unit tests for configuration dataclasses and their validation."""
+
+import pytest
+
+from repro.core.config import (
+    CacheGeometry,
+    DDIOConfig,
+    LinkConfig,
+    MachineConfig,
+    RingConfig,
+    TimingParams,
+)
+
+
+class TestCacheGeometry:
+    def test_paper_defaults(self):
+        g = CacheGeometry()
+        assert g.total_sets == 16384  # the E5-2660's LLC
+        assert g.size_bytes == 20 * 1024 * 1024
+        assert g.offset_bits == 6
+        assert g.set_bits == 11
+        assert g.slice_bits == 3
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(sets_per_slice=1000)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(line_size=96)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(ways=0)
+
+
+class TestRingConfig:
+    def test_defaults_match_igb(self):
+        r = RingConfig()
+        assert r.n_descriptors == 256
+        assert r.buffer_size == 2048
+        assert r.copy_threshold == 256
+
+    def test_two_buffers_per_page_enforced(self):
+        with pytest.raises(ValueError):
+            RingConfig(buffer_size=1024, page_size=4096)
+
+    def test_copy_threshold_must_fit(self):
+        with pytest.raises(ValueError):
+            RingConfig(copy_threshold=4096)
+
+
+class TestLinkConfig:
+    def test_gigabit_frame_rate_for_192_bytes(self):
+        """The paper: ~500k frames/s max for 192-byte frames on 1 GbE."""
+        link = LinkConfig()
+        rate = link.max_frame_rate(192)
+        assert 430_000 < rate < 580_000
+
+    def test_minimum_frame_padding(self):
+        link = LinkConfig()
+        assert link.wire_bytes(1) == link.wire_bytes(64)
+
+    def test_frame_time_inverse_of_rate(self):
+        link = LinkConfig()
+        assert link.frame_time_seconds(256) == pytest.approx(
+            1.0 / link.max_frame_rate(256)
+        )
+
+
+class TestTimingParams:
+    def test_defaults_are_ordered(self):
+        t = TimingParams()
+        assert t.l1_hit_latency < t.llc_hit_latency < t.llc_miss_latency
+
+    def test_rejects_miss_faster_than_hit(self):
+        with pytest.raises(ValueError):
+            TimingParams(llc_hit_latency=300, llc_miss_latency=200)
+
+
+class TestDDIOConfig:
+    def test_default_two_ways(self):
+        assert DDIOConfig().write_allocate_ways == 2
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ValueError):
+            DDIOConfig(write_allocate_ways=0)
+
+
+class TestMachineConfigScaling:
+    def test_scaled_down_keeps_slice_structure(self):
+        cfg = MachineConfig().scaled_down()
+        assert cfg.cache.n_slices == 8
+        assert cfg.cache.line_size == 64
+
+    def test_scaled_down_preserves_buffer_to_set_ratio(self):
+        cfg = MachineConfig().scaled_down()
+        page_aligned_sets = (
+            cfg.cache.sets_per_slice
+            // (cfg.ring.page_size // cfg.cache.line_size)
+            * cfg.cache.n_slices
+        )
+        assert page_aligned_sets == cfg.ring.n_descriptors
+
+    def test_bench_scale_keeps_paper_set_count(self):
+        cfg = MachineConfig().bench_scale()
+        assert cfg.cache.sets_per_slice == 2048
+        assert cfg.ring.n_descriptors == 256

@@ -1,0 +1,150 @@
+"""Tests for the covert channel: encoding, decoding, end-to-end runs."""
+
+import pytest
+
+from repro.analysis.lfsr import lfsr_symbols
+from repro.attack.covert import (
+    CovertReceiver,
+    CovertTrojan,
+    frame_size_for,
+    run_chasing_channel,
+    run_covert_channel,
+    size_to_symbol,
+    symbol_from_blocks,
+)
+from repro.attack.setup import MonitorFactory, spaced_positions, unique_buffer_positions
+from repro.attack.timing import calibrate_threshold
+
+
+class TestEncoding:
+    def test_binary_sizes(self):
+        assert frame_size_for(0, 2) == 64
+        assert frame_size_for(1, 2) == 256
+
+    def test_ternary_sizes(self):
+        assert [frame_size_for(s, 3) for s in (0, 1, 2)] == [64, 192, 256]
+
+    def test_unencodable_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            frame_size_for(2, 2)
+
+    def test_decode_inverts_encode(self):
+        for alphabet in (2, 3):
+            for symbol in range(alphabet):
+                blocks = -(-frame_size_for(symbol, alphabet) // 64)
+                assert size_to_symbol(max(blocks, 2), alphabet) == symbol
+
+    def test_symbol_from_blocks_binary(self):
+        assert symbol_from_blocks(True, True, 2) == 1
+        assert symbol_from_blocks(False, False, 2) == 0
+
+    def test_symbol_from_blocks_ternary(self):
+        assert symbol_from_blocks(False, False, 3) == 0
+        assert symbol_from_blocks(True, False, 3) == 1
+        assert symbol_from_blocks(True, True, 3) == 2
+
+
+class TestTrojan:
+    def test_packets_per_symbol(self):
+        trojan = CovertTrojan(ring_size=256, n_streams=4)
+        assert trojan.packets_per_symbol == 64
+
+    def test_stream_length(self):
+        trojan = CovertTrojan(alphabet=2, ring_size=32, n_streams=1)
+        stream = trojan.build_stream([0, 1, 0])
+        assert len(stream.sizes) == 3 * 32
+
+    def test_streams_must_divide_ring(self):
+        with pytest.raises(ValueError):
+            CovertTrojan(ring_size=256, n_streams=7)
+
+    def test_reordering_permutes_but_preserves_multiset(self):
+        trojan = CovertTrojan(
+            alphabet=3, ring_size=32, n_streams=32, reorder_prob=0.5
+        )
+        symbols = lfsr_symbols(64, 3)
+        stream = trojan.build_stream(symbols)
+        expected = sorted(frame_size_for(s, 3) for s in symbols)
+        assert sorted(stream.sizes) == expected
+        assert stream.sizes != [frame_size_for(s, 3) for s in symbols]
+
+
+@pytest.fixture
+def covert_rig(nic_machine, spy, threshold):
+    factory = MonitorFactory(nic_machine, spy, threshold, huge_pages=4)
+    return nic_machine, spy, factory
+
+
+class TestSingleBufferChannel:
+    def test_ternary_roundtrip(self, covert_rig):
+        machine, spy, factory = covert_rig
+        position = unique_buffer_positions(machine)[0]
+        receiver = CovertReceiver(spy, [factory.stream_monitors(position)])
+        trojan = CovertTrojan(alphabet=3, ring_size=32, rate_pps=400_000)
+        symbols = lfsr_symbols(30, 3)
+        report = run_covert_channel(machine, receiver, trojan, symbols, 30_000)
+        assert report.error_rate <= 0.1
+        assert report.symbols_received >= 27
+
+    def test_binary_roundtrip(self, covert_rig):
+        machine, spy, factory = covert_rig
+        position = unique_buffer_positions(machine)[0]
+        receiver = CovertReceiver(spy, [factory.stream_monitors(position)])
+        trojan = CovertTrojan(alphabet=2, ring_size=32, rate_pps=400_000)
+        symbols = lfsr_symbols(30, 2)
+        report = run_covert_channel(machine, receiver, trojan, symbols, 30_000)
+        assert report.error_rate <= 0.1
+
+    def test_bandwidth_bounded_by_line_rate(self, covert_rig):
+        machine, spy, factory = covert_rig
+        position = unique_buffer_positions(machine)[0]
+        receiver = CovertReceiver(spy, [factory.stream_monitors(position)])
+        trojan = CovertTrojan(alphabet=3, ring_size=32, rate_pps=10_000_000)
+        symbols = lfsr_symbols(16, 3)
+        report = run_covert_channel(machine, receiver, trojan, symbols, 5_000)
+        max_symbol_rate = machine.config.link.max_frame_rate(256) / 32
+        assert report.symbol_rate <= max_symbol_rate * 1.05
+
+
+class TestMultiBufferChannel:
+    def test_more_buffers_more_bandwidth(self, covert_rig):
+        machine, spy, factory = covert_rig
+        candidates = unique_buffer_positions(machine)
+        reports = {}
+        for n in (1, 4):
+            positions = spaced_positions(candidates, n, 32)
+            receiver = CovertReceiver(
+                spy, [factory.stream_monitors(p) for p in positions]
+            )
+            trojan = CovertTrojan(
+                alphabet=3, ring_size=32, n_streams=n, rate_pps=400_000
+            )
+            symbols = lfsr_symbols(24, 3)
+            reports[n] = run_covert_channel(
+                machine, receiver, trojan, symbols, 25_000
+            )
+        assert (
+            reports[4].bandwidth_bps > 2.5 * reports[1].bandwidth_bps
+        )
+
+
+class TestChasingChannel:
+    def test_one_symbol_per_packet(self, covert_rig):
+        machine, spy, factory = covert_rig
+        chaser = factory.full_ring_chaser(include_alt=False)
+        trojan = CovertTrojan(
+            alphabet=3, ring_size=32, n_streams=32, rate_pps=50_000
+        )
+        symbols = lfsr_symbols(60, 3)
+        report, oos = run_chasing_channel(
+            machine, chaser, trojan, symbols, timeout_cycles=1_000_000
+        )
+        assert report.error_rate <= 0.05
+        assert oos <= 0.05
+
+    def test_requires_per_packet_trojan(self, covert_rig):
+        machine, spy, factory = covert_rig
+        chaser = factory.full_ring_chaser(include_alt=False)
+        trojan = CovertTrojan(alphabet=3, ring_size=32, n_streams=1)
+        with pytest.raises(ValueError):
+            run_chasing_channel(machine, chaser, trojan, [0], 1000)

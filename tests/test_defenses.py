@@ -1,0 +1,191 @@
+"""Tests for both defenses: randomization and adaptive partitioning."""
+
+import pytest
+
+from repro.cache.cacheset import LINE_IO
+from repro.defense.partitioning import AdaptivePartition, PartitionConfig
+from repro.defense.randomization import (
+    FullRandomizer,
+    PartialRandomizer,
+    RandomizationCost,
+)
+from repro.net.packet import Frame
+from repro.net.traffic import ConstantStream
+
+
+class TestFullRandomizer:
+    def test_every_packet_gets_new_page(self, nic_machine):
+        randomizer = FullRandomizer()
+        nic_machine.driver.randomizer = randomizer
+        before = nic_machine.ring.order_fingerprint()
+        for _ in range(5):
+            nic_machine.nic.deliver(Frame(size=64, protocol="broadcast"))
+        after = nic_machine.ring.order_fingerprint()
+        assert randomizer.packets == 5
+        assert sum(1 for a, b in zip(before, after) if a != b) == 5
+
+    def test_overhead_charged(self, nic_machine):
+        cost = RandomizationCost(alloc_cycles=1000)
+        randomizer = FullRandomizer(cost)
+        nic_machine.driver.randomizer = randomizer
+        nic_machine.nic.deliver(Frame(size=64, protocol="broadcast"))
+        assert randomizer.cycles_charged == 1000
+        assert randomizer.drain_pending() == 1000
+        assert randomizer.drain_pending() == 0
+
+    def test_defeats_stale_monitors(self, nic_machine, spy, threshold):
+        """A monitor built before randomization stops seeing packets."""
+        from repro.attack.setup import MonitorFactory
+
+        factory = MonitorFactory(nic_machine, spy, threshold, huge_pages=4)
+        monitor = factory.buffer_monitor(0, blocks=(0,), include_alt=False)
+        nic_machine.driver.randomizer = FullRandomizer()
+        monitor.prime()
+        # Cycle the whole ring once: every buffer has moved afterwards.
+        for _ in range(len(nic_machine.ring.buffers)):
+            nic_machine.nic.deliver(Frame(size=64, protocol="broadcast"))
+        monitor.blocks[0].probe()  # drain stale state
+        monitor.prime()
+        hits_before = nic_machine.ring.fill_count
+        for _ in range(len(nic_machine.ring.buffers)):
+            nic_machine.nic.deliver(Frame(size=64, protocol="broadcast"))
+        # The original physical page was freed; activity on the old set is
+        # now incidental (other pages may collide) rather than guaranteed.
+        assert nic_machine.ring.fill_count == hits_before + 32
+
+
+class TestPartialRandomizer:
+    def test_shuffles_on_interval(self, nic_machine):
+        randomizer = PartialRandomizer(interval=10)
+        nic_machine.driver.randomizer = randomizer
+        before = nic_machine.ring.order_fingerprint()
+        for _ in range(10):
+            nic_machine.nic.deliver(Frame(size=64, protocol="broadcast"))
+        assert randomizer.shuffles == 1
+        assert nic_machine.ring.order_fingerprint() != before
+
+    def test_no_shuffle_before_interval(self, nic_machine):
+        randomizer = PartialRandomizer(interval=100)
+        nic_machine.driver.randomizer = randomizer
+        for _ in range(99):
+            nic_machine.nic.deliver(Frame(size=64, protocol="broadcast"))
+        assert randomizer.shuffles == 0
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            PartialRandomizer(interval=0)
+
+    def test_shuffle_cost_scales_with_ring(self, nic_machine):
+        cost = RandomizationCost(shuffle_cycles_per_buffer=10)
+        randomizer = PartialRandomizer(interval=1, cost=cost)
+        nic_machine.driver.randomizer = randomizer
+        nic_machine.nic.deliver(Frame(size=64, protocol="broadcast"))
+        assert randomizer.cycles_charged == 10 * len(nic_machine.ring.buffers)
+
+
+class TestPartitionConfig:
+    def test_paper_defaults(self):
+        cfg = PartitionConfig()
+        assert cfg.period == 10_000
+        assert (cfg.t_low, cfg.t_high) == (2_000, 5_000)
+        assert (cfg.min_quota, cfg.max_quota) == (1, 3)
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            PartitionConfig(t_low=6000, t_high=5000)
+
+    def test_quota_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            PartitionConfig(min_quota=3, init_quota=2)
+
+
+class TestAdaptivePartition:
+    def test_install_registers_with_llc(self, nic_machine):
+        partition = AdaptivePartition()
+        partition.install(nic_machine)
+        assert nic_machine.llc.partition is partition
+
+    def test_double_install_rejected(self, nic_machine):
+        AdaptivePartition().install(nic_machine)
+        with pytest.raises(RuntimeError):
+            AdaptivePartition().install(nic_machine)
+
+    def test_io_never_evicts_cpu_lines(self, nic_machine):
+        """The security property: packets cannot displace CPU lines."""
+        partition = AdaptivePartition()
+        partition.install(nic_machine)
+        victim = nic_machine.new_process("victim")
+        base = victim.mmap(64)
+        for i in range(64 * 64):
+            victim.access(base + i * 64)
+        source = ConstantStream(size=256, rate_pps=3e5, protocol="broadcast")
+        source.attach(nic_machine, nic_machine.nic)
+        nic_machine.idle(2_000_000)
+        source.stop()
+        assert nic_machine.llc.stats.io_evicted_cpu == 0
+
+    def test_io_partition_caps_io_lines(self, nic_machine):
+        partition = AdaptivePartition()
+        partition.install(nic_machine)
+        for _ in range(len(nic_machine.ring.buffers) * 3):
+            nic_machine.nic.deliver(Frame(size=256, protocol="broadcast"))
+        max_quota = partition.config.max_quota
+        for flat in range(nic_machine.llc.geometry.total_sets):
+            _cpu, io = nic_machine.llc.set_occupancy(flat)
+            assert io <= max_quota
+
+    def test_quota_grows_under_sustained_io(self, nic_machine):
+        partition = AdaptivePartition(PartitionConfig(period=50_000))
+        partition.install(nic_machine)
+        source = ConstantStream(size=256, rate_pps=5e5, protocol="broadcast")
+        source.attach(nic_machine, nic_machine.nic)
+        nic_machine.idle(500_000)
+        source.stop()
+        assert partition.stats.quota_grown > 0
+
+    def test_quota_decays_when_idle(self, nic_machine):
+        partition = AdaptivePartition(PartitionConfig(period=50_000))
+        partition.install(nic_machine)
+        nic_machine.idle(200_000)
+        assert partition.quota(0) == partition.config.min_quota
+
+    def test_presence_accounting_bounded_by_period(self, nic_machine):
+        partition = AdaptivePartition()
+        partition.install(nic_machine)
+        nic_machine.nic.deliver(Frame(size=64, protocol="broadcast"))
+        flat = nic_machine.llc.flat_set_of(
+            nic_machine.ring.buffers[0].dma_paddr
+        )
+        nic_machine.idle(25_000)
+        now = nic_machine.clock.now
+        assert partition.presence_this_period(flat, now) <= partition.config.period
+
+    def test_blinds_prime_probe_spy(self, nic_machine, spy, threshold):
+        """End to end: with partitioning, the footprint scan goes dark.
+
+        A spy that keeps full-associativity eviction sets just self-thrashes
+        (the CPU partition is smaller now); the *best-case* spy recalibrates
+        its sets to the CPU partition size — and still sees no packets,
+        because I/O fills can only displace I/O lines.
+        """
+        from repro.attack.evictionset import OracleEvictionSetBuilder
+        from repro.attack.primeprobe import ProbeMonitor
+
+        partition = AdaptivePartition()
+        partition.install(nic_machine)
+        cpu_ways = nic_machine.llc.geometry.ways - partition.config.max_quota
+        builder = OracleEvictionSetBuilder(
+            spy, threshold, huge_pages=4, ways=cpu_ways
+        )
+        groups = builder.build_page_aligned_groups()
+        monitor = ProbeMonitor(spy, groups)
+        source = ConstantStream(size=256, rate_pps=2e5, protocol="broadcast")
+        source.attach(nic_machine, nic_machine.nic)
+        monitor.prime()
+        # Let the partition warm up (first fills may predate priming).
+        nic_machine.idle(100_000)
+        monitor.probe_once()
+        trace = monitor.sample(50, wait_cycles=20_000)
+        source.stop()
+        active = sum(1 for a in trace.activity_fraction() if a > 0.1)
+        assert active == 0

@@ -1,0 +1,141 @@
+"""Smoke + shape tests for the experiment harnesses (tiny parameters).
+
+The benchmarks run these at meaningful sizes; here we pin interfaces and
+the qualitative shapes with parameters small enough for the unit suite.
+"""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.experiments import (
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig10,
+    run_fig14,
+    run_fig15,
+    run_fig16,
+    run_ring_size_ablation,
+    run_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return MachineConfig().scaled_down()
+
+
+class TestMappingExperiments:
+    def test_fig5_counts_sum_to_ring(self, cfg):
+        result = run_fig5(cfg)
+        assert sum(result.counts) == result.n_buffers
+        assert result.format_rows()
+
+    def test_fig6_histogram_totals(self, cfg):
+        result = run_fig6(instances=10, config=cfg)
+        total_sets = sum(result.histogram.values())
+        assert total_sets == 10 * result.sets_per_instance
+        assert 0.1 < result.fraction_empty() < 0.6
+
+    def test_fig6_validates_instances(self, cfg):
+        with pytest.raises(ValueError):
+            run_fig6(instances=0, config=cfg)
+
+
+class TestFootprintExperiments:
+    def test_fig7_idle_dark_receiving_lit(self, cfg):
+        result = run_fig7(cfg, n_samples=60, huge_pages=4)
+        assert result.active_while_idle() == 0
+        assert result.active_while_receiving() > 0
+        assert len(result.format_rows()) == 3
+
+
+class TestSequencingExperiment:
+    def test_table1_reports_all_metrics(self, cfg):
+        result = run_table1(
+            cfg,
+            n_monitored=8,
+            n_samples=1200,
+            packet_rate=15_000,
+            probe_rate_hz=16_000,
+            huge_pages=4,
+        )
+        assert result.truth
+        assert result.recovered
+        assert 0 <= result.error_rate <= 2
+        assert result.profiling_seconds > 0
+        assert any("Levenshtein" in row for row in result.format_rows())
+
+    def test_table1_with_noise_still_recovers(self, cfg):
+        """§III-C: non-cooperating traffic only helps the profiling."""
+        result = run_table1(
+            cfg,
+            n_monitored=8,
+            n_samples=1200,
+            packet_rate=12_000,
+            probe_rate_hz=16_000,
+            noise_rate=3_000,
+            huge_pages=4,
+        )
+        assert result.error_rate <= 1.0
+
+
+class TestCovertExperiments:
+    def test_fig10_decodes_pattern(self, cfg):
+        result = run_fig10(cfg, n_symbols=12, huge_pages=4)
+        from repro.analysis.levenshtein import levenshtein
+
+        assert levenshtein(result.received, result.sent) <= 2
+
+
+class TestDefenseExperiments:
+    def test_fig14_rows(self, cfg):
+        result = run_fig14(cfg, n_requests=120)
+        assert len(result.ddio_krps) == len(result.llc_labels) == 3
+        for i in range(3):
+            assert result.ddio_krps[i] > 0
+            assert abs(result.loss_percent(i)) < 50
+
+    def test_fig15_ddio_beats_baseline(self, cfg):
+        result = run_fig15(cfg, copy_kb=128, tcp_packets=200, nginx_requests=80)
+        nr, nw, _ = result.normalised("filecopy", "ddio")
+        assert nr < 1.0 and nw < 1.0
+
+    def test_fig16_full_random_worst(self, cfg):
+        result = run_fig16(cfg, n_requests=400, rate_rps=140_000)
+        assert result.p99_overhead_percent("full-random") > result.p99_overhead_percent(
+            "adaptive"
+        )
+
+    def test_ablation_ring_size_shapes(self, cfg):
+        result = run_ring_size_ablation(cfg, ring_sizes=(32, 128))
+        assert result.unique_buffer_fraction[0] >= result.unique_buffer_fraction[1]
+        assert len(result.format_rows()) == 4
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table1" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["not-a-thing"]) == 2
+
+    def test_run_one(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.5" in out
+
+    def test_every_listed_experiment_is_runnable_object(self):
+        from repro.cli import EXPERIMENTS
+
+        for name, (description, runner) in EXPERIMENTS.items():
+            assert description
+            assert callable(runner)

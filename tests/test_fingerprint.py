@@ -1,0 +1,121 @@
+"""Tests for the web-fingerprinting attack pipeline and discovery helpers."""
+
+import random
+
+import pytest
+
+from repro.attack.discovery import RingDiscovery
+from repro.attack.evictionset import OracleEvictionSetBuilder
+from repro.attack.fingerprint import (
+    CaptureConfig,
+    TraceCollector,
+    WebFingerprintAttack,
+    recovered_vs_original,
+)
+from repro.attack.setup import MonitorFactory
+from repro.net.websites import LoginTraceFactory, WebsiteCorpus
+
+
+@pytest.fixture
+def collector(nic_machine, spy, threshold):
+    factory = MonitorFactory(nic_machine, spy, threshold, huge_pages=4)
+    chaser = factory.full_ring_chaser()
+    config = CaptureConfig(trace_length=60)
+    return TraceCollector(nic_machine, chaser, config)
+
+
+class TestTraceCollector:
+    def test_capture_returns_block_sizes(self, collector):
+        trace = [(150e-6, 256)] * 20
+        sizes = collector.capture_load(trace)
+        assert len(sizes) == 20
+        assert all(1 <= s <= 4 for s in sizes)
+
+    def test_capture_truncates_to_trace_length(self, collector):
+        trace = [(150e-6, 256)] * 80
+        sizes = collector.capture_load(trace)
+        assert len(sizes) == collector.config.trace_length
+
+    def test_collector_stays_synced_across_loads(self, collector):
+        first = collector.capture_load([(150e-6, 256)] * 15)
+        second = collector.capture_load([(150e-6, 1514)] * 15)
+        assert len(first) == 15
+        assert len(second) == 15
+        assert all(s == 4 for s in second)  # MTU frames: 4+ blocks
+
+    def test_large_packets_read_via_flipped_half(self, collector):
+        """MTU frames flip page halves; alt monitors must still see them."""
+        sizes = collector.capture_load([(150e-6, 1514)] * 12)
+        assert sizes.count(4) >= 10
+
+
+class TestRecoveredVsOriginal:
+    def test_structure_tracks_original(self, collector):
+        trace = LoginTraceFactory().success(random.Random(2))
+        original, recovered = recovered_vs_original(collector, trace)
+        assert len(recovered) >= len(original) * 0.9
+        # Large frames recovered exactly; 1-block frames read as 2 due to
+        # the driver's block-1 prefetch (the paper's systematic offset).
+        agree = sum(
+            1
+            for o, r in zip(original, recovered)
+            if r == o or (o == 1 and r == 2)
+        )
+        assert agree / min(len(original), len(recovered)) > 0.85
+
+
+class TestWebFingerprintAttack:
+    def test_untrained_refuses_to_classify(self, collector):
+        attack = WebFingerprintAttack(collector, WebsiteCorpus())
+        with pytest.raises(RuntimeError):
+            attack.classify_one("google.com")
+        with pytest.raises(RuntimeError):
+            attack.evaluate()
+
+    def test_train_and_classify(self, collector):
+        corpus = WebsiteCorpus(sites=("facebook.com", "google.com"))
+        attack = WebFingerprintAttack(collector, corpus, rng=random.Random(4))
+        attack.train(loads_per_site=2)
+        accuracy = attack.evaluate(trials_per_site=2)
+        assert accuracy >= 0.75  # 2-site world, clean channel
+
+    def test_training_needs_loads(self, collector):
+        attack = WebFingerprintAttack(collector, WebsiteCorpus())
+        with pytest.raises(ValueError):
+            attack.train(loads_per_site=0)
+
+
+class TestDiscoveryBlockResolution:
+    def test_resolve_block_set_picks_correct_slice(
+        self, nic_machine, spy, threshold
+    ):
+        """The §IV-b trial-and-error: among the 8 slice candidates for a
+        buffer's block-2 index, co-activation picks the true one."""
+        from repro.net.traffic import ConstantStream
+
+        llc = nic_machine.llc
+        buffer = nic_machine.ring.buffers[nic_machine.ring.head]
+        builder = OracleEvictionSetBuilder(spy, threshold, huge_pages=4)
+        block0 = builder.group_for(
+            llc.set_index_of(buffer.dma_paddr), llc.slice_of(buffer.dma_paddr)
+        )
+        block2_paddr = buffer.dma_paddr + 2 * 64
+        candidates = list(
+            builder.groups_for_index(llc.set_index_of(block2_paddr)).values()
+        )
+        discovery = RingDiscovery(spy, [block0])
+        source = ConstantStream(size=256, rate_pps=1e5, protocol="broadcast")
+        source.attach(nic_machine, nic_machine.nic)
+        chosen = discovery.resolve_block_set(
+            block0, candidates, n_samples=220, wait_cycles=20_000
+        )
+        source.stop()
+        chosen_paddr = spy.addrspace.translate(chosen.addrs[0])
+        assert llc.flat_set_of(chosen_paddr) == llc.flat_set_of(block2_paddr)
+
+    def test_resolve_requires_candidates(self, nic_machine, spy, threshold):
+        builder = OracleEvictionSetBuilder(spy, threshold, huge_pages=4)
+        block0 = builder.group_for(0, 0)
+        discovery = RingDiscovery(spy, [block0])
+        with pytest.raises(ValueError):
+            discovery.resolve_block_set(block0, [], 10, 0)

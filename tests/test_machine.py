@@ -1,0 +1,139 @@
+"""Integration tests for Machine and Process."""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.machine import Machine
+
+
+class TestProcessAccess:
+    def test_access_advances_clock_by_latency(self, nic_machine):
+        proc = nic_machine.new_process("p")
+        base = proc.mmap(1)
+        t0 = nic_machine.clock.now
+        latency = proc.access(base)
+        assert nic_machine.clock.now - t0 == latency
+        assert latency == nic_machine.llc.timing.llc_miss_latency
+
+    def test_second_access_hits(self, nic_machine):
+        proc = nic_machine.new_process("p")
+        base = proc.mmap(1)
+        proc.access(base)
+        assert proc.access(base) == nic_machine.llc.timing.llc_hit_latency
+
+    def test_timed_access_adds_overhead(self, nic_machine):
+        proc = nic_machine.new_process("p")
+        base = proc.mmap(1)
+        proc.access(base)
+        expected = (
+            nic_machine.llc.timing.llc_hit_latency
+            + nic_machine.llc.timing.measure_overhead
+        )
+        assert proc.timed_access(base) == expected
+
+    def test_flush_then_access_misses(self, nic_machine):
+        proc = nic_machine.new_process("p")
+        base = proc.mmap(1)
+        proc.access(base)
+        proc.flush(base)
+        assert proc.access(base) == nic_machine.llc.timing.llc_miss_latency
+
+    def test_access_drains_due_events(self, nic_machine):
+        proc = nic_machine.new_process("p")
+        base = proc.mmap(1)
+        fired = []
+        nic_machine.events.schedule(
+            nic_machine.clock.now, lambda: fired.append(True)
+        )
+        proc.access(base)
+        assert fired == [True]
+
+    def test_processes_share_the_llc(self, nic_machine):
+        """Two processes mapping the same frame contend in the same set —
+        the shared-LLC property the attack needs."""
+        a = nic_machine.new_process("a")
+        base = a.mmap(1)
+        paddr = a.addrspace.translate(base)
+        a.access(base)
+        assert nic_machine.llc.is_resident(paddr)
+
+
+class TestMachineAssembly:
+    def test_double_nic_install_rejected(self, nic_machine):
+        with pytest.raises(RuntimeError):
+            nic_machine.install_nic()
+
+    def test_restart_networking_moves_buffers(self, nic_machine):
+        before = set(nic_machine.ring.page_paddrs())
+        nic_machine.restart_networking()
+        after = set(nic_machine.ring.page_paddrs())
+        assert before != after
+        assert len(after) == len(before)
+
+    def test_restart_without_nic_rejected(self, machine):
+        with pytest.raises(RuntimeError):
+            machine.restart_networking()
+
+    def test_deterministic_under_seed(self):
+        cfg = MachineConfig().scaled_down()
+        a = Machine(cfg)
+        a.install_nic()
+        cfg2 = MachineConfig().scaled_down()
+        b = Machine(cfg2)
+        b.install_nic()
+        assert a.ring.page_paddrs() == b.ring.page_paddrs()
+
+    def test_different_seed_different_layout(self):
+        cfg1 = MachineConfig().scaled_down()
+        cfg2 = MachineConfig().scaled_down()
+        cfg2.seed = cfg1.seed + 1
+        a = Machine(cfg1)
+        a.install_nic()
+        b = Machine(cfg2)
+        b.install_nic()
+        assert a.ring.page_paddrs() != b.ring.page_paddrs()
+
+    def test_ring_buffers_on_requested_node(self, nic_machine):
+        for buffer in nic_machine.ring.buffers:
+            assert buffer.node == 0
+
+    def test_drain_events_empties_queue(self, nic_machine):
+        nic_machine.events.schedule(10_000, lambda: None)
+        nic_machine.events.schedule(20_000, lambda: None)
+        nic_machine.drain_events()
+        assert len(nic_machine.events) == 0
+        assert nic_machine.clock.now == 20_000
+
+
+class TestEndToEndSmoke:
+    def test_full_attack_pipeline_small(self, nic_machine):
+        """Discovery -> active sets -> one buffer monitor -> size read."""
+        from repro.attack.discovery import RingDiscovery
+        from repro.attack.evictionset import OracleEvictionSetBuilder
+        from repro.attack.timing import calibrate_threshold
+        from repro.net.traffic import ConstantStream
+
+        spy = nic_machine.new_process("spy")
+        threshold = calibrate_threshold(spy)
+        builder = OracleEvictionSetBuilder(spy, threshold, huge_pages=4)
+        discovery = RingDiscovery(spy, builder.build_page_aligned_groups())
+        source = ConstantStream(size=128, rate_pps=2e5, protocol="broadcast")
+        idle, receiving = discovery.idle_vs_receiving(
+            n_samples=60,
+            wait_cycles=20_000,
+            start_traffic=lambda: source.attach(nic_machine, nic_machine.nic),
+        )
+        source.stop()
+        assert not discovery.active_sets(idle)
+        active = discovery.active_sets(receiving)
+        assert active
+        # Every active set truly hosts at least one ring buffer.
+        from repro.attack.groundtruth import (
+            buffers_per_page_aligned_set,
+            flat_set_of_eviction_set,
+        )
+
+        hosting = buffers_per_page_aligned_set(nic_machine)
+        for found in active:
+            flat = flat_set_of_eviction_set(spy, found.eviction_set)
+            assert hosting.get(flat, 0) >= 1

@@ -1,0 +1,179 @@
+"""Unit tests for the rx ring, DMA engine and IGB driver model."""
+
+import pytest
+
+from repro.net.packet import Frame
+from repro.net.traffic import ConstantStream
+
+
+class TestRxRing:
+    def test_buffers_page_aligned(self, nic_machine):
+        for buffer in nic_machine.ring.buffers:
+            assert buffer.page_paddr % 4096 == 0
+            assert buffer.page_offset == 0
+
+    def test_advance_wraps(self, nic_machine):
+        ring = nic_machine.ring
+        n = len(ring)
+        first = ring.next_buffer()
+        for _ in range(n):
+            ring.advance()
+        assert ring.next_buffer() is first
+
+    def test_fill_count_monotonic(self, nic_machine):
+        ring = nic_machine.ring
+        ring.advance()
+        ring.advance()
+        assert ring.fill_count == 2
+
+    def test_replace_buffer_frees_old_page(self, nic_machine):
+        ring = nic_machine.ring
+        old = ring.buffers[3].page_paddr
+        free_before = nic_machine.physmem.free_frames
+        new = ring.replace_buffer(3)
+        assert new.page_paddr != old
+        assert nic_machine.physmem.free_frames == free_before
+
+    def test_shuffle_changes_order_not_pages(self, nic_machine):
+        ring = nic_machine.ring
+        pages_before = set(ring.page_paddrs())
+        order_before = ring.order_fingerprint()
+        ring.shuffle_order()
+        assert set(ring.page_paddrs()) == pages_before
+        assert ring.order_fingerprint() != order_before
+
+    def test_buffer_flip(self, nic_machine):
+        buffer = nic_machine.ring.buffers[0]
+        base = buffer.dma_paddr
+        buffer.flip(2048)
+        assert buffer.dma_paddr == base + 2048
+        buffer.flip(2048)
+        assert buffer.dma_paddr == base
+
+
+class TestNicDma:
+    def test_frame_blocks_land_in_llc(self, nic_machine):
+        buffer = nic_machine.ring.next_buffer()
+        nic_machine.nic.deliver(Frame(size=256, protocol="broadcast"))
+        llc = nic_machine.llc
+        for k in range(4):
+            assert llc.is_resident(buffer.page_paddr + k * 64)
+
+    def test_blocks_written_counted(self, nic_machine):
+        nic_machine.nic.deliver(Frame(size=192, protocol="broadcast"))
+        assert nic_machine.nic.stats.blocks_written == 3
+
+    def test_oversize_frame_dropped(self, nic_machine):
+        nic_machine.nic.deliver(Frame(size=4000, protocol="broadcast"))
+        assert nic_machine.nic.stats.oversize_dropped == 1
+        assert nic_machine.ring.fill_count == 0
+
+    def test_buffers_fill_in_ring_order(self, nic_machine):
+        nic_machine.driver.log_receives = True
+        for _ in range(5):
+            nic_machine.nic.deliver(Frame(size=64, protocol="broadcast"))
+        slots = [r.ring_slot for r in nic_machine.driver.receive_log]
+        assert slots == [0, 1, 2, 3, 4]
+
+    def test_no_ddio_defers_driver_receive(self, scaled_config):
+        from repro.core.config import DDIOConfig
+        from repro.core.machine import Machine
+
+        scaled_config.ddio = DDIOConfig(enabled=False)
+        machine = Machine(scaled_config)
+        machine.install_nic()
+        machine.nic.deliver(Frame(size=64, protocol="tcp"))
+        assert machine.driver.stats.frames == 0  # interrupt still pending
+        machine.idle(machine.llc.timing.io_to_driver_latency + 1)
+        assert machine.driver.stats.frames == 1
+
+
+class TestIgbDriver:
+    def test_broadcast_discarded_after_header(self, nic_machine):
+        nic_machine.nic.deliver(Frame(size=1500, protocol="broadcast"))
+        stats = nic_machine.driver.stats
+        assert stats.discarded == 1
+        assert stats.page_flips == 0  # no skb was built
+
+    def test_small_packet_copied_buffer_reused(self, nic_machine):
+        buffer = nic_machine.ring.next_buffer()
+        nic_machine.nic.deliver(Frame(size=128, protocol="tcp"))
+        assert nic_machine.driver.stats.copied == 1
+        assert buffer.page_offset == 0  # reused as-is
+
+    def test_large_packet_flips_half_page(self, nic_machine):
+        buffer = nic_machine.ring.next_buffer()
+        nic_machine.nic.deliver(Frame(size=1500, protocol="tcp"))
+        assert nic_machine.driver.stats.fragged == 1
+        assert buffer.page_offset == 2048
+
+    def test_copy_threshold_boundary(self, nic_machine):
+        threshold = nic_machine.config.ring.copy_threshold
+        nic_machine.nic.deliver(Frame(size=threshold, protocol="tcp"))
+        assert nic_machine.driver.stats.copied == 1
+        nic_machine.nic.deliver(Frame(size=threshold + 1, protocol="tcp"))
+        assert nic_machine.driver.stats.fragged == 1
+
+    def test_header_prefetch_touches_block1(self, nic_machine):
+        """Even a 1-block frame loads block 1 — the Fig. 8 anomaly."""
+        buffer = nic_machine.ring.next_buffer()
+        nic_machine.nic.deliver(Frame(size=64, protocol="broadcast"))
+        assert nic_machine.llc.is_resident(buffer.page_paddr + 64)
+
+    def test_shared_page_forces_replacement(self, scaled_config):
+        from repro.core.machine import Machine
+
+        machine = Machine(scaled_config)
+        machine.install_nic(shared_page_prob=1.0)
+        machine.nic.deliver(Frame(size=1500, protocol="tcp"))
+        assert machine.driver.stats.buffers_replaced == 1
+        assert machine.driver.stats.page_flips == 0
+
+    def test_receive_log_records_symbols(self, scaled_config):
+        from repro.core.machine import Machine
+
+        machine = Machine(scaled_config)
+        machine.install_nic(log_receives=True)
+        machine.nic.deliver(Frame(size=192, protocol="broadcast", symbol=1))
+        record = machine.driver.receive_log[0]
+        assert record.symbol == 1
+        assert record.n_blocks == 3
+
+
+class TestTrafficSources:
+    def test_constant_stream_delivers_count(self, nic_machine):
+        source = ConstantStream(size=64, rate_pps=1e6, count=10)
+        source.attach(nic_machine, nic_machine.nic)
+        nic_machine.drain_events()
+        assert nic_machine.nic.stats.frames == 10
+
+    def test_line_rate_enforced(self, nic_machine):
+        """Asking for 10 Mpps of 1514-byte frames is capped by the wire."""
+        source = ConstantStream(size=1514, rate_pps=1e7, count=50, protocol="tcp")
+        source.attach(nic_machine, nic_machine.nic)
+        nic_machine.drain_events()
+        elapsed = nic_machine.clock.seconds()
+        max_rate = nic_machine.config.link.max_frame_rate(1514)
+        assert 50 / elapsed <= max_rate * 1.01
+
+    def test_pattern_stream_order(self, nic_machine):
+        from repro.net.traffic import PatternStream
+
+        nic_machine.driver.log_receives = True
+        source = PatternStream([64, 192, 256], rate_pps=1e5, symbols=[0, 1, 2])
+        source.attach(nic_machine, nic_machine.nic)
+        nic_machine.drain_events()
+        assert [r.symbol for r in nic_machine.driver.receive_log] == [0, 1, 2]
+
+    def test_stop_halts_stream(self, nic_machine):
+        source = ConstantStream(size=64, rate_pps=1e5, count=100)
+        source.attach(nic_machine, nic_machine.nic)
+        nic_machine.idle(int(3.3e9 / 1e5 * 5))
+        source.stop()
+        delivered = nic_machine.nic.stats.frames
+        nic_machine.drain_events()
+        assert nic_machine.nic.stats.frames <= delivered + 1
+
+    def test_rates_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ConstantStream(size=64, rate_pps=0)

@@ -1,0 +1,148 @@
+"""Tests for the performance model: agents, workloads, load generation."""
+
+import pytest
+
+from repro.core.config import DDIOConfig, MachineConfig
+from repro.core.machine import Machine
+from repro.defense.partitioning import AdaptivePartition
+from repro.perf.agent import MemAgent
+from repro.perf.workloads import FileCopyWorkload, NginxServer, TcpRecvWorkload
+from repro.perf.wrk import LoadGenerator
+
+
+def make_machine(ddio=True, partition=False):
+    cfg = MachineConfig().scaled_down()
+    cfg.ddio = DDIOConfig(enabled=ddio)
+    machine = Machine(cfg)
+    machine.install_nic()
+    if partition:
+        AdaptivePartition().install(machine)
+    return machine
+
+
+class TestMemAgent:
+    def test_l1_filters_hot_lines(self, nic_machine):
+        agent = MemAgent(nic_machine, "w")
+        base = agent.mmap(1)
+        agent.read(base)
+        misses_before = nic_machine.llc.stats.cpu_misses
+        for _ in range(10):
+            agent.read(base)
+        assert nic_machine.llc.stats.cpu_misses == misses_before
+
+    def test_latency_advances_clock(self, nic_machine):
+        agent = MemAgent(nic_machine, "w")
+        base = agent.mmap(1)
+        t0 = nic_machine.clock.now
+        latency = agent.read(base)
+        assert nic_machine.clock.now == t0 + latency
+
+    def test_inclusive_back_invalidation(self, nic_machine):
+        """An LLC eviction must also purge the L1 copy (inclusion)."""
+        agent = MemAgent(nic_machine, "w")
+        llc = nic_machine.llc
+        base = agent.mmap(1)
+        agent.read(base)
+        paddr = agent.process.addrspace.translate(base)
+        flat = llc.flat_set_of(paddr)
+        llc.invalidate_set_lines(flat, io=False)
+        assert not agent.hierarchy.l1.access(paddr)
+
+
+class TestWorkloads:
+    def test_filecopy_moves_configured_volume(self):
+        machine = make_machine()
+        report = FileCopyWorkload(machine, total_kb=64, chunk_kb=4).run()
+        assert report.items == 16
+        assert report.reads > 0
+
+    def test_filecopy_ddio_cuts_traffic(self):
+        no_ddio = FileCopyWorkload(make_machine(ddio=False), total_kb=64).run()
+        with_ddio = FileCopyWorkload(make_machine(ddio=True), total_kb=64).run()
+        assert with_ddio.reads < no_ddio.reads
+        assert with_ddio.writes < no_ddio.writes
+
+    def test_tcprecv_delivers_packets(self):
+        machine = make_machine()
+        report = TcpRecvWorkload(machine, n_packets=100).run()
+        assert report.items == 100
+        assert machine.nic.stats.frames == 100
+
+    def test_tcprecv_needs_nic(self):
+        machine = Machine(MachineConfig().scaled_down())
+        with pytest.raises(RuntimeError):
+            TcpRecvWorkload(machine)
+
+    def test_nginx_serves_requests(self):
+        machine = make_machine()
+        server = NginxServer(machine, n_files=8, file_kb=8)
+        report = server.serve_closed_loop(50)
+        assert report.items == 50
+        assert report.items_per_second(machine.clock.frequency_hz) > 0
+
+    def test_nginx_ddio_faster_than_no_ddio(self):
+        results = {}
+        for ddio in (False, True):
+            machine = make_machine(ddio=ddio)
+            server = NginxServer(machine, n_files=32, file_kb=16)
+            results[ddio] = server.serve_closed_loop(150).cycles
+        assert results[True] < results[False]
+
+    def test_nginx_partitioning_costs_little(self):
+        results = {}
+        for partition in (False, True):
+            machine = make_machine(partition=partition)
+            server = NginxServer(machine, n_files=32, file_kb=16)
+            results[partition] = server.serve_closed_loop(150).cycles
+        overhead = results[True] / results[False] - 1
+        assert overhead < 0.15
+
+    def test_randomizer_overhead_charged_to_requests(self):
+        from repro.defense.randomization import FullRandomizer
+
+        machine = make_machine()
+        randomizer = FullRandomizer()
+        machine.driver.randomizer = randomizer
+        server = NginxServer(machine)
+        server.randomizer = randomizer
+        baseline_machine = make_machine()
+        baseline = NginxServer(baseline_machine)
+        slow = server.serve_closed_loop(100).cycles
+        fast = baseline.serve_closed_loop(100).cycles
+        assert slow > fast
+
+
+class TestLoadGenerator:
+    def test_open_loop_latency_includes_queueing(self):
+        machine = make_machine()
+        server = NginxServer(machine, n_files=8, file_kb=8)
+        # Offered rate far above service rate: the tail must queue.
+        report = LoadGenerator(machine, server, rate_rps=1e6, n_requests=200).run()
+        pct = report.percentiles_ms()
+        assert pct[99.0] > pct[25.0]
+
+    def test_light_load_tail_far_below_overload_tail(self):
+        def p99(rate):
+            machine = make_machine()
+            server = NginxServer(machine, n_files=8, file_kb=8)
+            server.serve_closed_loop(50)  # warm caches
+            report = LoadGenerator(
+                machine, server, rate_rps=rate, n_requests=100
+            ).run()
+            return report.percentiles_ms()[99.0]
+
+        assert p99(5_000) < p99(1_000_000) / 5
+
+    def test_achieved_rate_bounded_by_offered(self):
+        machine = make_machine()
+        server = NginxServer(machine, n_files=8, file_kb=8)
+        report = LoadGenerator(machine, server, rate_rps=20_000, n_requests=100).run()
+        assert report.achieved_rps <= 20_000 * 1.1
+
+    def test_validation(self):
+        machine = make_machine()
+        server = NginxServer(machine)
+        with pytest.raises(ValueError):
+            LoadGenerator(machine, server, rate_rps=0, n_requests=10)
+        with pytest.raises(ValueError):
+            LoadGenerator(machine, server, rate_rps=10, n_requests=0)

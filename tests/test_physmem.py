@@ -1,0 +1,99 @@
+"""Unit tests for the physical page allocator."""
+
+import random
+
+import pytest
+
+from repro.mem.physmem import DramTraffic, PhysicalMemory
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(
+        size_bytes=1 << 24, page_size=4096, numa_nodes=2, rng=random.Random(1)
+    )
+
+
+class TestAllocation:
+    def test_frames_are_unique(self, mem):
+        frames = mem.alloc_frames(200)
+        assert len(set(frames)) == 200
+
+    def test_node_restriction_honoured(self, mem):
+        for _ in range(50):
+            frame = mem.alloc_frame(node=1)
+            assert mem.node_of_frame(frame) == 1
+
+    def test_bad_node_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.alloc_frame(node=9)
+
+    def test_exhaustion_raises_memoryerror(self):
+        tiny = PhysicalMemory(size_bytes=8 * 4096, page_size=4096, numa_nodes=1)
+        tiny.alloc_frames(8)
+        with pytest.raises(MemoryError):
+            tiny.alloc_frame()
+
+    def test_free_then_realloc(self, mem):
+        frame = mem.alloc_frame()
+        before = mem.free_frames
+        mem.free_frame(frame)
+        assert mem.free_frames == before + 1
+
+    def test_double_free_rejected(self, mem):
+        frame = mem.alloc_frame()
+        mem.free_frame(frame)
+        with pytest.raises(ValueError):
+            mem.free_frame(frame)
+
+    def test_free_out_of_range_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.free_frame(mem.n_frames + 1)
+
+    def test_placement_is_randomised(self):
+        a = PhysicalMemory(1 << 24, rng=random.Random(1)).alloc_frames(20)
+        b = PhysicalMemory(1 << 24, rng=random.Random(2)).alloc_frames(20)
+        assert a != b
+
+
+class TestContiguous:
+    def test_run_is_contiguous_and_aligned(self, mem):
+        start = mem.alloc_contiguous(16, align_frames=16)
+        assert start % 16 == 0
+
+    def test_contiguous_frames_removed_from_pool(self, mem):
+        start = mem.alloc_contiguous(8)
+        taken = set(range(start, start + 8))
+        later = set(mem.alloc_frames(mem.free_frames))
+        assert not (taken & later)
+
+    def test_zero_count_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.alloc_contiguous(0)
+
+    def test_impossible_run_raises(self):
+        tiny = PhysicalMemory(size_bytes=4 * 4096, page_size=4096, numa_nodes=1)
+        with pytest.raises(MemoryError):
+            tiny.alloc_contiguous(8)
+
+
+class TestNuma:
+    def test_nodes_partition_the_range(self, mem):
+        counts = {0: 0, 1: 0}
+        for frame in range(0, mem.n_frames, 97):
+            counts[mem.node_of_frame(frame)] += 1
+        assert counts[0] > 0 and counts[1] > 0
+
+    def test_node_of_addr(self, mem):
+        assert mem.node_of_addr(0) == 0
+        assert mem.node_of_addr(mem.size_bytes - 1) == 1
+
+
+class TestDramTraffic:
+    def test_counters(self):
+        t = DramTraffic()
+        t.reads += 3
+        t.writes += 2
+        assert t.total == 5
+        t.reset()
+        assert t.total == 0

@@ -1,0 +1,19 @@
+"""Round-trip tests for experiment result formatting.
+
+Every harness promises a ``format_rows()`` that prints paper-style rows;
+these tests pin that contract (benchmarks and the CLI both depend on it).
+"""
+
+from repro.core.config import MachineConfig
+from repro.experiments import run_fig5
+
+
+class TestFormatContract:
+    def test_rows_are_strings(self):
+        result = run_fig5(MachineConfig().scaled_down())
+        rows = result.format_rows()
+        assert rows and all(isinstance(r, str) for r in rows)
+
+    def test_first_row_names_the_figure(self):
+        result = run_fig5(MachineConfig().scaled_down())
+        assert result.format_rows()[0].startswith("Fig.5")

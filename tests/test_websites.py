@@ -1,0 +1,110 @@
+"""Tests for frames and the synthetic website trace corpus."""
+
+import random
+
+import pytest
+
+from repro.net.packet import Frame
+from repro.net.websites import (
+    ACK_FRAME,
+    MTU_FRAME,
+    LoginTraceFactory,
+    WebsiteCorpus,
+    WebsiteProfile,
+)
+
+
+class TestFrame:
+    def test_block_count_rounds_up(self):
+        assert Frame(size=64).n_blocks() == 1
+        assert Frame(size=65).n_blocks() == 2
+        assert Frame(size=256).n_blocks() == 4
+        assert Frame(size=1514).n_blocks() == 24
+
+    def test_broadcast_detection(self):
+        assert Frame(size=64, protocol="broadcast").is_broadcast()
+        assert Frame(size=64, protocol="unknown").is_broadcast()
+        assert not Frame(size=64, protocol="tcp").is_broadcast()
+
+    def test_frame_ids_unique(self):
+        assert Frame(size=64).frame_id != Frame(size=64).frame_id
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(size=0)
+
+
+class TestWebsiteProfile:
+    def test_deterministic_canonical_trace(self):
+        a = WebsiteProfile("example.com", seed=1)
+        b = WebsiteProfile("example.com", seed=1)
+        assert a.canonical == b.canonical
+
+    def test_different_sites_differ(self):
+        a = WebsiteProfile("a.com", seed=1)
+        b = WebsiteProfile("b.com", seed=1)
+        assert a.canonical != b.canonical
+
+    def test_sizes_within_ethernet_limits(self):
+        profile = WebsiteProfile("example.com")
+        for _gap, size in profile.canonical:
+            assert ACK_FRAME <= size <= MTU_FRAME
+
+    def test_bimodal_structure(self):
+        """Most packets sit at the spectrum ends (Sinha et al. structure)."""
+        profile = WebsiteProfile("example.com")
+        sizes = [s for _g, s in profile.canonical]
+        extremes = sum(1 for s in sizes if s in (ACK_FRAME, MTU_FRAME))
+        assert extremes / len(sizes) > 0.5
+
+    def test_sample_jitters_but_preserves_shape(self):
+        profile = WebsiteProfile("example.com")
+        sample = profile.sample(random.Random(3))
+        canonical_sizes = [s for _g, s in profile.canonical]
+        sampled_sizes = [s for _g, s in sample]
+        assert abs(len(sampled_sizes) - len(canonical_sizes)) <= len(canonical_sizes) // 5
+        assert sampled_sizes != [0] * len(sampled_sizes)
+
+    def test_samples_vary_between_loads(self):
+        profile = WebsiteProfile("example.com")
+        rng = random.Random(3)
+        assert profile.sample(rng) != profile.sample(rng)
+
+    def test_block_size_vector_capped(self):
+        profile = WebsiteProfile("example.com")
+        blocks = profile.canonical_block_sizes(cap=4)
+        assert all(1 <= b <= 4 for b in blocks)
+
+
+class TestWebsiteCorpus:
+    def test_default_five_sites(self):
+        corpus = WebsiteCorpus()
+        assert len(corpus) == 5
+        assert "facebook.com" in corpus.names()
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            WebsiteCorpus().get("nonexistent.example")
+
+    def test_profiles_mutually_distinct(self):
+        corpus = WebsiteCorpus()
+        canonicals = [tuple(p.canonical) for p in corpus]
+        assert len(set(canonicals)) == len(canonicals)
+
+
+class TestLoginTraces:
+    def test_success_and_failure_differ(self):
+        factory = LoginTraceFactory()
+        rng = random.Random(1)
+        success = factory.success(rng)
+        failure = factory.failure(rng)
+        assert len(success) > len(failure)  # dashboard vs error page
+
+    def test_deterministic_under_seed(self):
+        a = LoginTraceFactory(seed=5).success(random.Random(1))
+        b = LoginTraceFactory(seed=5).success(random.Random(1))
+        assert a == b
+
+    def test_profiles_exposed(self):
+        factory = LoginTraceFactory()
+        assert set(factory.profiles) == {"success", "failure"}
