@@ -20,6 +20,14 @@ import pytest
 from repro.core.config import MachineConfig
 
 
+def pytest_collection_modifyitems(items):
+    """Benchmarks are the paper-scale reproduction paths: mark them all
+    ``slow`` so the default ``-m 'not slow'`` filter keeps tier-1 fast.
+    Run them with ``pytest benchmarks/ -m slow`` (or ``-m ''``)."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture
 def scaled_config():
     """Scaled machine (32-set page-aligned space, 32-slot ring)."""

@@ -2,14 +2,24 @@
 
 Usage::
 
-    python -m repro list               # available experiments
-    python -m repro fig7               # run one, print the paper-style rows
+    python -m repro list                # available experiments
+    python -m repro fig7                # run one, print the paper-style rows
+    python -m repro fig6 --jobs 4       # shard the trial fan-out over 4 procs
+    python -m repro all --jobs 8        # everything, parallel, cached
+    python -m repro all --force         # ignore cached results and re-run
     python -m repro table1 --paper-scale
-    python -m repro all                # everything (slow)
 
 Each experiment runs at the scaled machine size by default (seconds to a
 couple of minutes); ``--paper-scale`` switches to the paper's full set
 structure where the harness supports it.
+
+Orchestration is handled by :mod:`repro.runner`: Monte Carlo experiments
+shard their trials over ``--jobs`` worker processes with seeds derived
+from ``--seed`` (bit-identical results for any job count), and every
+result is cached under ``.repro-cache/`` keyed by (experiment, machine
+config, parameters, seed) — a warm rerun of ``all`` executes nothing.
+``python -m repro all`` exits non-zero if any experiment failed and prints
+a per-experiment summary table either way.
 """
 
 from __future__ import annotations
@@ -17,32 +27,66 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable
+import traceback
+from dataclasses import dataclass, replace
+from typing import Any, Callable
 
 from repro.core.config import MachineConfig
+from repro.runner import ConsoleProgress, ExperimentRunner, ResultCache
+from repro.runner.cache import DEFAULT_CACHE_DIR
 from repro import experiments as exp
 
-#: name -> (description, runner taking a MachineConfig)
-EXPERIMENTS: dict[str, tuple[str, Callable]] = {
-    "fig5": (
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    """One runnable experiment: how to invoke it and how to cache it.
+
+    ``sharded`` experiments thread the runner through to their trial loop
+    and cache per phase internally; the rest have no trial fan-out, so the
+    CLI wraps them in :meth:`ExperimentRunner.run_cached` keyed by
+    ``params`` — either way a warm ``all`` rerun executes nothing.
+    """
+
+    description: str
+    params: dict
+    run: Callable[[MachineConfig, ExperimentRunner], Any]
+    sharded: bool = False
+
+
+EXPERIMENTS: dict[str, ExperimentDef] = {
+    "fig5": ExperimentDef(
         "buffer-to-set mapping, one driver init",
-        lambda cfg: exp.run_fig5(cfg),
+        params={},
+        run=lambda cfg, runner: exp.run_fig5(cfg),
     ),
-    "fig6": (
+    "fig6": ExperimentDef(
         "buffers-per-set histogram over many inits",
-        lambda cfg: exp.run_fig6(instances=100, config=cfg),
+        params={"instances": 100},
+        run=lambda cfg, runner: exp.run_fig6(instances=100, config=cfg, runner=runner),
+        sharded=True,
     ),
-    "fig7": (
+    "fig7": ExperimentDef(
         "page-aligned footprint: idle vs receiving",
-        lambda cfg: exp.run_fig7(cfg, n_samples=250, huge_pages=4),
+        params={"n_samples": 250, "huge_pages": 4},
+        run=lambda cfg, runner: exp.run_fig7(cfg, n_samples=250, huge_pages=4),
     ),
-    "fig8": (
+    "fig8": ExperimentDef(
         "cache footprint vs packet size",
-        lambda cfg: exp.run_fig8(cfg, n_samples=100, huge_pages=4, n_buffers=6),
+        params={"n_samples": 100, "huge_pages": 4, "n_buffers": 6},
+        run=lambda cfg, runner: exp.run_fig8(
+            cfg, n_samples=100, huge_pages=4, n_buffers=6
+        ),
     ),
-    "table1": (
+    "table1": ExperimentDef(
         "ring sequence recovery (Algorithm 1)",
-        lambda cfg: exp.run_table1(
+        params={
+            "n_monitored": 16,
+            "n_samples": 4000,
+            "packet_rate": 15_000,
+            "probe_rate_hz": 16_000,
+            "huge_pages": 4,
+        },
+        run=lambda cfg, runner: exp.run_table1(
             cfg,
             n_monitored=16,
             n_samples=4000,
@@ -51,63 +95,114 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
             huge_pages=4,
         ),
     ),
-    "fig10": (
+    "fig10": ExperimentDef(
         "covert decode of the '201' pattern",
-        lambda cfg: exp.run_fig10(cfg, n_symbols=24, huge_pages=4),
+        params={"n_symbols": 24, "huge_pages": 4},
+        run=lambda cfg, runner: exp.run_fig10(cfg, n_symbols=24, huge_pages=4),
     ),
-    "fig11": (
+    "fig11": ExperimentDef(
         "covert capacity: binary/ternary x probe rate",
-        lambda cfg: exp.run_fig11(cfg, n_symbols=50, huge_pages=4),
+        params={"n_symbols": 50, "huge_pages": 4},
+        run=lambda cfg, runner: exp.run_fig11(
+            cfg, n_symbols=50, huge_pages=4, runner=runner
+        ),
+        sharded=True,
     ),
-    "fig12ab": (
+    "fig12ab": ExperimentDef(
         "multi-buffer covert capacity",
-        lambda cfg: exp.run_fig12_multibuffer(
-            cfg, buffer_counts=(1, 2, 4, 8), n_symbols=48, huge_pages=4
+        params={"buffer_counts": [1, 2, 4, 8], "n_symbols": 48, "huge_pages": 4},
+        run=lambda cfg, runner: exp.run_fig12_multibuffer(
+            cfg, buffer_counts=(1, 2, 4, 8), n_symbols=48, huge_pages=4, runner=runner
         ),
+        sharded=True,
     ),
-    "fig12cd": (
+    "fig12cd": ExperimentDef(
         "full chasing channel vs send rate",
-        lambda cfg: exp.run_fig12_chase(cfg, n_symbols=150, huge_pages=4),
+        params={"n_symbols": 150, "huge_pages": 4},
+        run=lambda cfg, runner: exp.run_fig12_chase(
+            cfg, n_symbols=150, huge_pages=4, runner=runner
+        ),
+        sharded=True,
     ),
-    "fig13": (
+    "fig13": ExperimentDef(
         "login success/failure trace recovery",
-        lambda cfg: exp.run_fig13_login(cfg, huge_pages=4, trace_length=80),
-    ),
-    "accuracy": (
-        "website fingerprinting accuracy, DDIO on/off",
-        lambda cfg: exp.run_fingerprint_accuracy(
-            cfg, train_loads=3, trials_per_site=4, huge_pages=4, trace_length=80
+        params={"huge_pages": 4, "trace_length": 80},
+        run=lambda cfg, runner: exp.run_fig13_login(
+            cfg, huge_pages=4, trace_length=80
         ),
     ),
-    "fig14": (
+    "accuracy": ExperimentDef(
+        "website fingerprinting accuracy, DDIO on/off",
+        params={
+            "train_loads": 3,
+            "trials_per_site": 4,
+            "huge_pages": 4,
+            "trace_length": 80,
+        },
+        run=lambda cfg, runner: exp.run_fingerprint_accuracy(
+            cfg,
+            train_loads=3,
+            trials_per_site=4,
+            huge_pages=4,
+            trace_length=80,
+            runner=runner,
+        ),
+        sharded=True,
+    ),
+    "fig14": ExperimentDef(
         "Nginx throughput: DDIO vs adaptive partitioning",
-        lambda cfg: exp.run_fig14(cfg, n_requests=500),
+        params={"n_requests": 500},
+        run=lambda cfg, runner: exp.run_fig14(cfg, n_requests=500),
     ),
-    "fig15": (
+    "fig15": ExperimentDef(
         "memory traffic + miss rate per cache variant",
-        lambda cfg: exp.run_fig15(cfg, copy_kb=512, tcp_packets=1000, nginx_requests=300),
+        params={"copy_kb": 512, "tcp_packets": 1000, "nginx_requests": 300},
+        run=lambda cfg, runner: exp.run_fig15(
+            cfg, copy_kb=512, tcp_packets=1000, nginx_requests=300
+        ),
     ),
-    "fig16": (
+    "fig16": ExperimentDef(
         "tail latency per defense scheme",
-        lambda cfg: exp.run_fig16(cfg, n_requests=2000),
+        params={"n_requests": 2000},
+        run=lambda cfg, runner: exp.run_fig16(cfg, n_requests=2000),
     ),
-    "ablation-ring": (
+    "ablation-ring": ExperimentDef(
         "ring size as a mitigation",
-        lambda cfg: exp.run_ring_size_ablation(cfg),
+        params={},
+        run=lambda cfg, runner: exp.run_ring_size_ablation(cfg, runner=runner),
+        sharded=True,
     ),
-    "ablation-interval": (
+    "ablation-interval": ExperimentDef(
         "partial randomization interval vs chase quality",
-        lambda cfg: exp.run_randomization_interval_ablation(cfg),
+        params={},
+        run=lambda cfg, runner: exp.run_randomization_interval_ablation(
+            cfg, runner=runner
+        ),
+        sharded=True,
     ),
-    "ablation-ddio-ways": (
+    "ablation-ddio-ways": ExperimentDef(
         "DDIO allocation limit vs covert error",
-        lambda cfg: exp.run_ddio_ways_ablation(cfg),
+        params={},
+        run=lambda cfg, runner: exp.run_ddio_ways_ablation(cfg, runner=runner),
+        sharded=True,
     ),
-    "ablation-probe-rate": (
+    "ablation-probe-rate": ExperimentDef(
         "probe rate vs sequence recovery error",
-        lambda cfg: exp.run_probe_rate_ablation(cfg),
+        params={},
+        run=lambda cfg, runner: exp.run_probe_rate_ablation(cfg, runner=runner),
+        sharded=True,
     ),
 }
+
+
+@dataclass
+class ExperimentOutcome:
+    """What happened to one experiment in this invocation."""
+
+    name: str
+    ok: bool
+    wall_seconds: float
+    error: str = ""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,40 +219,128 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the paper's full set structure (much slower)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sharded experiments (default 1; results "
+        "are identical for any value)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="root seed for trial derivation and the machine config "
+        "(default: the config's built-in seed)",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="re-run even if a cached result exists (and overwrite it)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"result cache location (default {DEFAULT_CACHE_DIR!r})",
+    )
     return parser
 
 
-def run_one(name: str, config: MachineConfig) -> None:
-    description, runner = EXPERIMENTS[name]
-    print(f"== {name}: {description}")
+def build_runner(args: argparse.Namespace) -> ExperimentRunner:
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    return ExperimentRunner(
+        jobs=args.jobs,
+        root_seed=args.seed,
+        cache=ResultCache(args.cache_dir),
+        use_cache=not args.no_cache,
+        force=args.force,
+        progress=ConsoleProgress(),
+    )
+
+
+def run_one(
+    name: str, config: MachineConfig, runner: ExperimentRunner
+) -> ExperimentOutcome:
+    definition = EXPERIMENTS[name]
+    print(f"== {name}: {definition.description}")
     start = time.time()
-    result = runner(config)
+    try:
+        if definition.sharded:
+            result = definition.run(config, runner)
+        else:
+            result = runner.run_cached(
+                name, config, definition.params, lambda: definition.run(config, runner)
+            )
+    except Exception:
+        wall = time.time() - start
+        print(f"   FAILED after {wall:.1f}s:", file=sys.stderr)
+        traceback.print_exc()
+        return ExperimentOutcome(
+            name=name,
+            ok=False,
+            wall_seconds=wall,
+            error=traceback.format_exc(limit=1).strip().splitlines()[-1],
+        )
+    wall = time.time() - start
     for row in result.format_rows():
         print(row)
-    print(f"   ({time.time() - start:.1f}s wall)\n")
+    print(f"   ({wall:.1f}s wall)\n")
+    return ExperimentOutcome(name=name, ok=True, wall_seconds=wall)
+
+
+def print_summary(outcomes: list[ExperimentOutcome]) -> None:
+    width = max(len(outcome.name) for outcome in outcomes)
+    print("== summary ==")
+    print(f"  {'experiment':{width}s}  {'status':6s}  {'wall':>7s}")
+    for outcome in outcomes:
+        status = "ok" if outcome.ok else "FAILED"
+        print(
+            f"  {outcome.name:{width}s}  {status:6s}  {outcome.wall_seconds:6.1f}s"
+            + (f"  {outcome.error}" if outcome.error else "")
+        )
+    failed = sum(1 for outcome in outcomes if not outcome.ok)
+    total_wall = sum(outcome.wall_seconds for outcome in outcomes)
+    print(
+        f"  {len(outcomes) - failed}/{len(outcomes)} experiments ok, "
+        f"{total_wall:.1f}s total"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)
-        for name, (description, _) in EXPERIMENTS.items():
-            print(f"  {name:{width}s}  {description}")
+        for name, definition in EXPERIMENTS.items():
+            print(f"  {name:{width}s}  {definition.description}")
         return 0
     config = (
         MachineConfig().bench_scale()
         if args.paper_scale
         else MachineConfig().scaled_down()
     )
+    if args.seed is not None:
+        if args.seed < 0:
+            raise SystemExit("--seed must be non-negative")
+        config = replace(config, seed=args.seed)
+    runner = build_runner(args)
     if args.experiment == "all":
-        for name in EXPERIMENTS:
-            run_one(name, config)
-        return 0
+        outcomes = [run_one(name, config, runner) for name in EXPERIMENTS]
+        print_summary(outcomes)
+        return 0 if all(outcome.ok for outcome in outcomes) else 1
     if args.experiment not in EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2
-    run_one(args.experiment, config)
-    return 0
+    outcome = run_one(args.experiment, config, runner)
+    return 0 if outcome.ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -14,7 +14,7 @@ Defaults reproduce the paper's experimental platform:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 
 @dataclass(frozen=True)
@@ -226,6 +226,47 @@ class MachineConfig:
     numa_nodes: int = 2
     #: Seed for all stochastic choices (page placement, noise, jitter).
     seed: int = 1234
+
+    def to_dict(self) -> dict:
+        """Plain nested-dict form of the full configuration.
+
+        The inverse of :meth:`from_dict`; also the canonical input to
+        :meth:`config_hash` and the runner's cache keys, so the layout is
+        exactly the dataclass field structure — nothing derived, nothing
+        omitted.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineConfig":
+        """Rebuild a :class:`MachineConfig` from :meth:`to_dict` output."""
+        sections = {
+            "cache": CacheGeometry,
+            "ddio": DDIOConfig,
+            "ring": RingConfig,
+            "link": LinkConfig,
+            "timing": TimingParams,
+            "processor": ProcessorConfig,
+        }
+        kwargs: dict = {}
+        known = {f.name for f in fields(cls)}
+        for name, value in data.items():
+            if name not in known:
+                raise ValueError(f"unknown MachineConfig field {name!r}")
+            factory = sections.get(name)
+            kwargs[name] = factory(**value) if factory is not None else value
+        return cls(**kwargs)
+
+    def config_hash(self) -> str:
+        """Stable sorted-key digest of the configuration.
+
+        Two configs hash identically iff every field (recursively) is
+        equal; the digest is stable across processes and platforms, which
+        is what lets the disk cache key on it.
+        """
+        from repro.core.hashing import stable_digest
+
+        return stable_digest(self.to_dict())
 
     def scaled_down(self) -> "MachineConfig":
         """Return a copy with a smaller LLC *and ring* for fast unit tests.

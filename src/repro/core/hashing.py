@@ -1,0 +1,70 @@
+"""Stable, content-addressed hashing of configuration and parameters.
+
+The runner's disk cache (:mod:`repro.runner.cache`) keys results by a
+digest of ``(experiment, MachineConfig, params, root_seed)``; that digest
+must be stable across processes and Python invocations, so it cannot use
+``hash()`` (salted per process) or ``pickle`` (protocol- and
+memo-dependent).  Instead every value is first *canonicalised* into plain
+JSON-serialisable data with a deterministic ordering, then digested as
+compact sorted-key JSON.
+
+Supported value types: ``None``, ``bool``, ``int``, ``str``, ``float``
+(via ``repr``, so ``0.1`` hashes identically everywhere), ``bytes``,
+lists/tuples, sets/frozensets (sorted by canonical form), mappings
+(sorted by key) and dataclass instances (class name + canonical fields).
+Anything else raises ``TypeError`` — silently hashing an unstable value
+would poison cache keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to deterministic JSON-serialisable data."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # repr() is the shortest round-tripping decimal form (PEP 3101-era
+        # float repr), identical on every platform we support.
+        return {"__float__": repr(value)}
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": {
+                f.name: canonicalize(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return {
+            "__set__": sorted(
+                (canonicalize(item) for item in value),
+                key=lambda c: json.dumps(c, sort_keys=True),
+            )
+        }
+    if isinstance(value, dict):
+        out = {}
+        for key in sorted(value, key=str):
+            if not isinstance(key, (str, int, bool)) and key is not None:
+                raise TypeError(
+                    f"cannot canonicalise mapping key of type {type(key).__name__}"
+                )
+            out[str(key)] = canonicalize(value[key])
+        return out
+    raise TypeError(f"cannot canonicalise value of type {type(value).__name__}")
+
+
+def stable_digest(value: Any) -> str:
+    """SHA-256 hex digest of the canonical form of ``value``."""
+    canonical = canonicalize(value)
+    payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

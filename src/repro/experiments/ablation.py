@@ -25,6 +25,7 @@ from repro.core.config import DDIOConfig, MachineConfig, RingConfig
 from repro.core.machine import Machine
 from repro.defense.randomization import PartialRandomizer
 from repro.net.traffic import ConstantStream
+from repro.runner import ExperimentRunner, Shard, TrialSpec, default_runner
 
 
 def _with(base: MachineConfig, ring: RingConfig | None = None, ddio: DDIOConfig | None = None) -> MachineConfig:
@@ -72,40 +73,65 @@ class RingSizeAblationResult:
         return rows
 
 
+def _ring_size_shard(config: MachineConfig, params: dict, shard: Shard) -> list:
+    """Ring-size sweep points ``[start, stop)``."""
+    from repro.attack.groundtruth import buffers_per_page_aligned_set
+    from repro.attack.setup import unique_buffer_positions
+
+    out = []
+    for index in range(shard.start, shard.stop):
+        n = params["ring_sizes"][index]
+        ring = RingConfig(
+            n_descriptors=n,
+            buffer_size=config.ring.buffer_size,
+            page_size=config.ring.page_size,
+            copy_threshold=config.ring.copy_threshold,
+        )
+        machine = Machine(_with(config, ring=ring))
+        machine.install_nic()
+        unique = unique_buffer_positions(machine)
+        counts = buffers_per_page_aligned_set(machine)
+        out.append(
+            {
+                "unique_fraction": len(unique) / n,
+                "per_hot_set": sum(counts.values()) / len(counts),
+                "revolution": n / params["packet_rate"],
+            }
+        )
+    return out
+
+
 def run_ring_size_ablation(
     config: MachineConfig | None = None,
     ring_sizes: tuple[int, ...] = (32, 64, 128),
     packet_rate: float = 100_000.0,
     huge_pages: int = 4,
+    runner: ExperimentRunner | None = None,
 ) -> RingSizeAblationResult:
     """Buffer-uniqueness and revisit-latency degradation per ring size."""
-    from repro.attack.groundtruth import buffers_per_page_aligned_set
-    from repro.attack.setup import unique_buffer_positions
-
     base = config or MachineConfig().scaled_down()
-    unique_fraction: list[float] = []
-    per_hot_set: list[float] = []
-    revolution: list[float] = []
-    for n in ring_sizes:
-        ring = RingConfig(
-            n_descriptors=n,
-            buffer_size=base.ring.buffer_size,
-            page_size=base.ring.page_size,
-            copy_threshold=base.ring.copy_threshold,
-        )
-        machine = Machine(_with(base, ring=ring))
-        machine.install_nic()
-        unique = unique_buffer_positions(machine)
-        unique_fraction.append(len(unique) / n)
-        counts = buffers_per_page_aligned_set(machine)
-        per_hot_set.append(sum(counts.values()) / len(counts))
-        revolution.append(n / packet_rate)
-    return RingSizeAblationResult(
-        ring_sizes=list(ring_sizes),
-        unique_buffer_fraction=unique_fraction,
-        mean_buffers_per_hot_set=per_hot_set,
-        ring_revolution_seconds=revolution,
+    runner = runner or default_runner()
+    spec = TrialSpec(
+        experiment="ablation-ring",
+        n_trials=len(ring_sizes),
+        trials_per_shard=1,
+        params={
+            "ring_sizes": list(ring_sizes),
+            "packet_rate": packet_rate,
+            "huge_pages": huge_pages,
+        },
     )
+
+    def reduce(shard_results: list) -> RingSizeAblationResult:
+        points = [point for sub in shard_results for point in sub]
+        return RingSizeAblationResult(
+            ring_sizes=list(ring_sizes),
+            unique_buffer_fraction=[p["unique_fraction"] for p in points],
+            mean_buffers_per_hot_set=[p["per_hot_set"] for p in points],
+            ring_revolution_seconds=[p["revolution"] for p in points],
+        )
+
+    return runner.run(spec, base, _ring_size_shard, reduce)
 
 
 @dataclass
@@ -127,27 +153,20 @@ class RandomizationIntervalResult:
         return rows
 
 
-def run_randomization_interval_ablation(
-    config: MachineConfig | None = None,
-    intervals: tuple[int, ...] = (0, 256, 64, 16),
-    n_packets: int = 120,
-    packet_rate: float = 40_000.0,
-    huge_pages: int = 4,
-) -> RandomizationIntervalResult:
-    """Chase a fixed stream under increasingly frequent ring shuffles.
-
-    ``interval == 0`` means no randomization (the vulnerable baseline).
-    The spy's monitors are built once, before any shuffle — exactly the
-    staleness the defense creates.
-    """
-    base = config or MachineConfig().scaled_down()
-    oos_rates: list[float] = []
-    seen: list[int] = []
-    for interval in intervals:
-        machine = Machine(_with(base))
+def _randomization_interval_shard(
+    config: MachineConfig, params: dict, shard: Shard
+) -> list:
+    """Shuffle-interval sweep points ``[start, stop)``."""
+    out = []
+    packet_rate = params["packet_rate"]
+    for index in range(shard.start, shard.stop):
+        interval = params["intervals"][index]
+        machine = Machine(_with(config))
         machine.install_nic()
         spy = machine.new_process("spy")
-        factory = MonitorFactory(machine, spy, calibrate_threshold(spy), huge_pages=huge_pages)
+        factory = MonitorFactory(
+            machine, spy, calibrate_threshold(spy), huge_pages=params["huge_pages"]
+        )
         chaser = factory.full_ring_chaser(include_alt=False)
         if interval > 0:
             machine.driver.randomizer = PartialRandomizer(interval)
@@ -156,14 +175,52 @@ def run_randomization_interval_ablation(
         source.attach(machine, machine.nic)
         timeout = int(6 * machine.clock.frequency_hz / packet_rate)
         result = chaser.chase(
-            n_packets, timeout_cycles=timeout, poll_wait=5_000, prime=False
+            params["n_packets"], timeout_cycles=timeout, poll_wait=5_000, prime=False
         )
         source.stop()
-        oos_rates.append(result.out_of_sync_rate)
-        seen.append(result.packets_seen)
-    return RandomizationIntervalResult(
-        intervals=list(intervals), out_of_sync_rates=oos_rates, packets_seen=seen
+        out.append(
+            {"out_of_sync": result.out_of_sync_rate, "seen": result.packets_seen}
+        )
+    return out
+
+
+def run_randomization_interval_ablation(
+    config: MachineConfig | None = None,
+    intervals: tuple[int, ...] = (0, 256, 64, 16),
+    n_packets: int = 120,
+    packet_rate: float = 40_000.0,
+    huge_pages: int = 4,
+    runner: ExperimentRunner | None = None,
+) -> RandomizationIntervalResult:
+    """Chase a fixed stream under increasingly frequent ring shuffles.
+
+    ``interval == 0`` means no randomization (the vulnerable baseline).
+    The spy's monitors are built once, before any shuffle — exactly the
+    staleness the defense creates.
+    """
+    base = config or MachineConfig().scaled_down()
+    runner = runner or default_runner()
+    spec = TrialSpec(
+        experiment="ablation-interval",
+        n_trials=len(intervals),
+        trials_per_shard=1,
+        params={
+            "intervals": list(intervals),
+            "n_packets": n_packets,
+            "packet_rate": packet_rate,
+            "huge_pages": huge_pages,
+        },
     )
+
+    def reduce(shard_results: list) -> RandomizationIntervalResult:
+        points = [point for sub in shard_results for point in sub]
+        return RandomizationIntervalResult(
+            intervals=list(intervals),
+            out_of_sync_rates=[p["out_of_sync"] for p in points],
+            packets_seen=[p["seen"] for p in points],
+        )
+
+    return runner.run(spec, base, _randomization_interval_shard, reduce)
 
 
 @dataclass
@@ -181,33 +238,63 @@ class DdioWaysResult:
         return rows
 
 
-def run_ddio_ways_ablation(
-    config: MachineConfig | None = None,
-    ways_sweep: tuple[int, ...] = (1, 2, 4),
-    n_symbols: int = 40,
-    huge_pages: int = 4,
-) -> DdioWaysResult:
-    """Single-buffer ternary channel error rate per DDIO allocation limit."""
+def _ddio_ways_shard(config: MachineConfig, params: dict, shard: Shard) -> list:
+    """DDIO write-allocate-limit sweep points ``[start, stop)``."""
     from repro.analysis.lfsr import lfsr_symbols
     from repro.attack.covert import CovertReceiver, CovertTrojan, run_covert_channel
     from repro.attack.setup import unique_buffer_positions
 
-    base = config or MachineConfig().scaled_down()
-    errors: list[float] = []
-    for io_ways in ways_sweep:
-        machine = Machine(_with(base, ddio=DDIOConfig(enabled=True, write_allocate_ways=io_ways)))
+    out = []
+    for index in range(shard.start, shard.stop):
+        io_ways = params["ways_sweep"][index]
+        machine = Machine(
+            _with(config, ddio=DDIOConfig(enabled=True, write_allocate_ways=io_ways))
+        )
         machine.install_nic()
         spy = machine.new_process("spy")
-        factory = MonitorFactory(machine, spy, calibrate_threshold(spy), huge_pages=huge_pages)
+        factory = MonitorFactory(
+            machine, spy, calibrate_threshold(spy), huge_pages=params["huge_pages"]
+        )
         position = unique_buffer_positions(machine)[0]
         receiver = CovertReceiver(spy, [factory.stream_monitors(position)])
         trojan = CovertTrojan(
             alphabet=3, ring_size=len(machine.ring.buffers), rate_pps=400_000
         )
-        symbols = lfsr_symbols(n_symbols, 3)
+        symbols = lfsr_symbols(params["n_symbols"], 3)
         report = run_covert_channel(machine, receiver, trojan, symbols, 30_000)
-        errors.append(report.error_rate)
-    return DdioWaysResult(ways=list(ways_sweep), error_rates=errors)
+        out.append(report.error_rate)
+    return out
+
+
+def run_ddio_ways_ablation(
+    config: MachineConfig | None = None,
+    ways_sweep: tuple[int, ...] = (1, 2, 4),
+    n_symbols: int = 40,
+    huge_pages: int = 4,
+    runner: ExperimentRunner | None = None,
+) -> DdioWaysResult:
+    """Single-buffer ternary channel error rate per DDIO allocation limit."""
+    base = config or MachineConfig().scaled_down()
+    runner = runner or default_runner()
+    spec = TrialSpec(
+        experiment="ablation-ddio-ways",
+        n_trials=len(ways_sweep),
+        trials_per_shard=1,
+        params={
+            "ways_sweep": list(ways_sweep),
+            "n_symbols": n_symbols,
+            "huge_pages": huge_pages,
+        },
+    )
+    return runner.run(
+        spec,
+        base,
+        _ddio_ways_shard,
+        lambda shard_results: DdioWaysResult(
+            ways=list(ways_sweep),
+            error_rates=[e for sub in shard_results for e in sub],
+        ),
+    )
 
 
 @dataclass
@@ -225,6 +312,25 @@ class ProbeRateResult:
         return rows
 
 
+def _probe_rate_shard(config: MachineConfig, params: dict, shard: Shard) -> list:
+    """Probe-rate sweep points ``[start, stop)``."""
+    from repro.experiments.sequencing import run_table1
+
+    out = []
+    for index in range(shard.start, shard.stop):
+        rate = params["probe_rates_hz"][index]
+        result = run_table1(
+            config,
+            n_monitored=params["n_monitored"],
+            n_samples=params["n_samples"],
+            packet_rate=params["packet_rate"],
+            probe_rate_hz=rate,
+            huge_pages=params["huge_pages"],
+        )
+        out.append(result.error_rate)
+    return out
+
+
 def run_probe_rate_ablation(
     config: MachineConfig | None = None,
     probe_rates_hz: tuple[float, ...] = (2_000.0, 8_000.0, 16_000.0, 32_000.0),
@@ -232,20 +338,29 @@ def run_probe_rate_ablation(
     n_samples: int = 3000,
     n_monitored: int = 16,
     huge_pages: int = 4,
+    runner: ExperimentRunner | None = None,
 ) -> ProbeRateResult:
     """Sweep the probe rate around the packet rate and score recovery."""
-    from repro.experiments.sequencing import run_table1
-
     base = config or MachineConfig().scaled_down()
-    errors: list[float] = []
-    for rate in probe_rates_hz:
-        result = run_table1(
-            base,
-            n_monitored=n_monitored,
-            n_samples=n_samples,
-            packet_rate=packet_rate,
-            probe_rate_hz=rate,
-            huge_pages=huge_pages,
-        )
-        errors.append(result.error_rate)
-    return ProbeRateResult(probe_rates_hz=list(probe_rates_hz), error_rates=errors)
+    runner = runner or default_runner()
+    spec = TrialSpec(
+        experiment="ablation-probe-rate",
+        n_trials=len(probe_rates_hz),
+        trials_per_shard=1,
+        params={
+            "probe_rates_hz": list(probe_rates_hz),
+            "packet_rate": packet_rate,
+            "n_samples": n_samples,
+            "n_monitored": n_monitored,
+            "huge_pages": huge_pages,
+        },
+    )
+    return runner.run(
+        spec,
+        base,
+        _probe_rate_shard,
+        lambda shard_results: ProbeRateResult(
+            probe_rates_hz=list(probe_rates_hz),
+            error_rates=[e for sub in shard_results for e in sub],
+        ),
+    )

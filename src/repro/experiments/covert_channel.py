@@ -30,6 +30,7 @@ from repro.attack.setup import MonitorFactory, spaced_positions, unique_buffer_p
 from repro.attack.timing import calibrate_threshold
 from repro.core.config import MachineConfig
 from repro.core.machine import Machine
+from repro.runner import ExperimentRunner, Shard, TrialSpec, default_runner
 
 
 def _covert_rig(config: MachineConfig | None, huge_pages: int = 16):
@@ -97,6 +98,33 @@ class Fig11Result:
         return rows
 
 
+def _fig11_shard(config: MachineConfig, params: dict, shard: Shard) -> list:
+    """Sweep points ``[start, stop)`` of the (alphabet, probe-rate) grid.
+
+    Every point builds its own machine from the shared config, exactly as
+    the serial loop did, so per-point results do not depend on which shard
+    — or which worker — ran them.
+    """
+    reports = []
+    for index in range(shard.start, shard.stop):
+        alphabet, khz = params["points"][index]
+        machine, spy, factory = _covert_rig(config, params["huge_pages"])
+        ring_size = len(machine.ring.buffers)
+        position = unique_buffer_positions(machine)[0]
+        receiver = CovertReceiver(spy, [factory.stream_monitors(position)])
+        trojan = CovertTrojan(
+            alphabet=alphabet, ring_size=ring_size, rate_pps=params["packet_rate"]
+        )
+        # The paper's probe rates assume a 256-slot ring (one symbol per
+        # 256 packets); scale so samples-per-symbol stays comparable on
+        # scaled rings.
+        effective_khz = khz * 256.0 / ring_size
+        wait = max(0, int(machine.clock.frequency_hz / (effective_khz * 1000)))
+        symbols = lfsr_symbols(params["n_symbols"], alphabet, seed=params["seed"])
+        reports.append(run_covert_channel(machine, receiver, trojan, symbols, wait))
+    return reports
+
+
 def run_fig11(
     config: MachineConfig | None = None,
     n_symbols: int = 60,
@@ -104,31 +132,41 @@ def run_fig11(
     probe_rates_khz: tuple[float, ...] = (7.0, 14.0, 28.0),
     huge_pages: int = 16,
     seed: int = 0x51,
+    runner: ExperimentRunner | None = None,
 ) -> Fig11Result:
-    """Sweep probe rate for binary and ternary encodings."""
-    binary: list[ChannelReport] = []
-    ternary: list[ChannelReport] = []
-    for alphabet, sink in ((2, binary), (3, ternary)):
-        for khz in probe_rates_khz:
-            machine, spy, factory = _covert_rig(config, huge_pages)
-            ring_size = len(machine.ring.buffers)
-            position = unique_buffer_positions(machine)[0]
-            receiver = CovertReceiver(spy, [factory.stream_monitors(position)])
-            trojan = CovertTrojan(
-                alphabet=alphabet, ring_size=ring_size, rate_pps=packet_rate
-            )
-            # The paper's probe rates assume a 256-slot ring (one symbol per
-            # 256 packets); scale so samples-per-symbol stays comparable on
-            # scaled rings.
-            effective_khz = khz * 256.0 / ring_size
-            wait = max(0, int(machine.clock.frequency_hz / (effective_khz * 1000)))
-            symbols = lfsr_symbols(n_symbols, alphabet, seed=seed)
-            sink.append(
-                run_covert_channel(machine, receiver, trojan, symbols, wait)
-            )
-    return Fig11Result(
-        probe_rates_khz=list(probe_rates_khz), binary=binary, ternary=ternary
+    """Sweep probe rate for binary and ternary encodings.
+
+    The (alphabet x probe rate) grid points are independent trials and run
+    one per shard through ``runner``.
+    """
+    base = config or MachineConfig().bench_scale()
+    runner = runner or default_runner()
+    points = [
+        (alphabet, khz) for alphabet in (2, 3) for khz in probe_rates_khz
+    ]
+    spec = TrialSpec(
+        experiment="fig11",
+        n_trials=len(points),
+        trials_per_shard=1,
+        params={
+            "points": points,
+            "n_symbols": n_symbols,
+            "packet_rate": packet_rate,
+            "huge_pages": huge_pages,
+            "seed": seed,
+        },
     )
+
+    def reduce(shard_results: list) -> Fig11Result:
+        reports = [report for sub in shard_results for report in sub]
+        n = len(probe_rates_khz)
+        return Fig11Result(
+            probe_rates_khz=list(probe_rates_khz),
+            binary=reports[:n],
+            ternary=reports[n:],
+        )
+
+    return runner.run(spec, base, _fig11_shard, reduce)
 
 
 @dataclass
@@ -148,6 +186,29 @@ class Fig12MultiBufferResult:
         return rows
 
 
+def _fig12_multibuffer_shard(config: MachineConfig, params: dict, shard: Shard) -> list:
+    """Buffer-count sweep points ``[start, stop)``, one rig per point."""
+    reports = []
+    for index in range(shard.start, shard.stop):
+        n = params["buffer_counts"][index]
+        machine, spy, factory = _covert_rig(config, params["huge_pages"])
+        ring_size = len(machine.ring.buffers)
+        candidates = unique_buffer_positions(machine)
+        positions = spaced_positions(candidates, n, ring_size)
+        streams = [factory.stream_monitors(p) for p in positions]
+        receiver = CovertReceiver(spy, streams)
+        trojan = CovertTrojan(
+            alphabet=3, ring_size=ring_size, n_streams=n, rate_pps=params["packet_rate"]
+        )
+        symbols = lfsr_symbols(params["n_symbols"], 3, seed=params["seed"])
+        reports.append(
+            run_covert_channel(
+                machine, receiver, trojan, symbols, params["wait_cycles"]
+            )
+        )
+    return reports
+
+
 def run_fig12_multibuffer(
     config: MachineConfig | None = None,
     buffer_counts: tuple[int, ...] = (1, 2, 4, 8, 16),
@@ -156,24 +217,33 @@ def run_fig12_multibuffer(
     wait_cycles: int = 25_000,
     huge_pages: int = 16,
     seed: int = 0x33,
+    runner: ExperimentRunner | None = None,
 ) -> Fig12MultiBufferResult:
     """Monitor 1..16 buffers spaced ring/n apart (ternary encoding)."""
-    reports: list[ChannelReport] = []
-    for n in buffer_counts:
-        machine, spy, factory = _covert_rig(config, huge_pages)
-        ring_size = len(machine.ring.buffers)
-        candidates = unique_buffer_positions(machine)
-        positions = spaced_positions(candidates, n, ring_size)
-        streams = [factory.stream_monitors(p) for p in positions]
-        receiver = CovertReceiver(spy, streams)
-        trojan = CovertTrojan(
-            alphabet=3, ring_size=ring_size, n_streams=n, rate_pps=packet_rate
-        )
-        symbols = lfsr_symbols(n_symbols, 3, seed=seed)
-        reports.append(
-            run_covert_channel(machine, receiver, trojan, symbols, wait_cycles)
-        )
-    return Fig12MultiBufferResult(n_buffers=list(buffer_counts), reports=reports)
+    base = config or MachineConfig().bench_scale()
+    runner = runner or default_runner()
+    spec = TrialSpec(
+        experiment="fig12ab",
+        n_trials=len(buffer_counts),
+        trials_per_shard=1,
+        params={
+            "buffer_counts": list(buffer_counts),
+            "n_symbols": n_symbols,
+            "packet_rate": packet_rate,
+            "wait_cycles": wait_cycles,
+            "huge_pages": huge_pages,
+            "seed": seed,
+        },
+    )
+    return runner.run(
+        spec,
+        base,
+        _fig12_multibuffer_shard,
+        lambda shard_results: Fig12MultiBufferResult(
+            n_buffers=list(buffer_counts),
+            reports=[report for sub in shard_results for report in sub],
+        ),
+    )
 
 
 @dataclass
@@ -197,6 +267,35 @@ class Fig12ChaseResult:
         return rows
 
 
+def _fig12_chase_shard(config: MachineConfig, params: dict, shard: Shard) -> list:
+    """Send-rate sweep points ``[start, stop)`` of the chasing channel."""
+    out = []
+    bits_per_symbol = 1.585  # log2(3)
+    for index in range(shard.start, shard.stop):
+        kbps = params["rates_kbps"][index]
+        machine, spy, factory = _covert_rig(config, params["huge_pages"])
+        ring_size = len(machine.ring.buffers)
+        chaser = factory.full_ring_chaser(blocks=(0, 1, 2, 3), include_alt=False)
+        packet_rate = kbps * 1000.0 / bits_per_symbol
+        reorder = (
+            max(0.0, (kbps - params["reorder_knee_kbps"]) / max(kbps, 1.0)) * 0.5
+        )
+        trojan = CovertTrojan(
+            alphabet=3,
+            ring_size=ring_size,
+            n_streams=ring_size,  # one packet per symbol
+            rate_pps=packet_rate,
+            reorder_prob=reorder,
+        )
+        symbols = lfsr_symbols(params["n_symbols"], 3, seed=params["seed"])
+        timeout = int(8 * machine.clock.frequency_hz / packet_rate)
+        report, oos = run_chasing_channel(
+            machine, chaser, trojan, symbols, timeout_cycles=timeout
+        )
+        out.append((report, oos))
+    return out
+
+
 def run_fig12_chase(
     config: MachineConfig | None = None,
     rates_kbps: tuple[float, ...] = (80.0, 160.0, 320.0, 640.0),
@@ -204,6 +303,7 @@ def run_fig12_chase(
     huge_pages: int = 16,
     seed: int = 0x44,
     reorder_knee_kbps: float = 500.0,
+    runner: ExperimentRunner | None = None,
 ) -> Fig12ChaseResult:
     """Chase every buffer; sender rate controls the bandwidth.
 
@@ -212,29 +312,27 @@ def run_fig12_chase(
     swaps with probability growing past the knee, per Section IV-c's
     explanation of the 640 kbps error jump.
     """
-    reports: list[ChannelReport] = []
-    oos_rates: list[float] = []
-    bits_per_symbol = 1.585  # log2(3)
-    for kbps in rates_kbps:
-        machine, spy, factory = _covert_rig(config, huge_pages)
-        ring_size = len(machine.ring.buffers)
-        chaser = factory.full_ring_chaser(blocks=(0, 1, 2, 3), include_alt=False)
-        packet_rate = kbps * 1000.0 / bits_per_symbol
-        reorder = max(0.0, (kbps - reorder_knee_kbps) / max(kbps, 1.0)) * 0.5
-        trojan = CovertTrojan(
-            alphabet=3,
-            ring_size=ring_size,
-            n_streams=ring_size,  # one packet per symbol
-            rate_pps=packet_rate,
-            reorder_prob=reorder,
-        )
-        symbols = lfsr_symbols(n_symbols, 3, seed=seed)
-        timeout = int(8 * machine.clock.frequency_hz / packet_rate)
-        report, oos = run_chasing_channel(
-            machine, chaser, trojan, symbols, timeout_cycles=timeout
-        )
-        reports.append(report)
-        oos_rates.append(oos)
-    return Fig12ChaseResult(
-        rates_kbps=list(rates_kbps), reports=reports, out_of_sync_rates=oos_rates
+    base = config or MachineConfig().bench_scale()
+    runner = runner or default_runner()
+    spec = TrialSpec(
+        experiment="fig12cd",
+        n_trials=len(rates_kbps),
+        trials_per_shard=1,
+        params={
+            "rates_kbps": list(rates_kbps),
+            "n_symbols": n_symbols,
+            "huge_pages": huge_pages,
+            "seed": seed,
+            "reorder_knee_kbps": reorder_knee_kbps,
+        },
     )
+
+    def reduce(shard_results: list) -> Fig12ChaseResult:
+        pairs = [pair for sub in shard_results for pair in sub]
+        return Fig12ChaseResult(
+            rates_kbps=list(rates_kbps),
+            reports=[report for report, _oos in pairs],
+            out_of_sync_rates=[oos for _report, oos in pairs],
+        )
+
+    return runner.run(spec, base, _fig12_chase_shard, reduce)

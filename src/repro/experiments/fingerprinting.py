@@ -10,9 +10,13 @@
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.analysis.correlation import CorrelationClassifier
 from repro.attack.fingerprint import (
     CaptureConfig,
     TraceCollector,
@@ -23,7 +27,9 @@ from repro.attack.setup import MonitorFactory
 from repro.attack.timing import calibrate_threshold
 from repro.core.config import DDIOConfig, MachineConfig
 from repro.core.machine import Machine
+from repro.net.traffic import PoissonNoise
 from repro.net.websites import LoginTraceFactory, WebsiteCorpus
+from repro.runner import ExperimentRunner, Shard, TrialSpec, default_runner
 
 
 def _fingerprint_rig(
@@ -137,6 +143,100 @@ class FingerprintAccuracyResult:
         ]
 
 
+def _capture_rng(trial_seed: int, seed: int, phase: str) -> random.Random:
+    """A ``random.Random`` bound to one trial.
+
+    String seeding hashes via SHA-512, so the stream is stable across
+    processes and platforms — unlike ``hash()``-based mixing.
+    """
+    return random.Random(f"{trial_seed}:{seed}:{phase}")
+
+
+def _noisy_rig(
+    config: MachineConfig,
+    ddio: bool,
+    params: dict,
+    trial_seed: int,
+    phase: str,
+):
+    """Build a fingerprint rig with this trial's background-noise stream."""
+    machine, collector = _fingerprint_rig(
+        config,
+        ddio=ddio,
+        huge_pages=params["huge_pages"],
+        trace_length=params["trace_length"],
+    )
+    if params["noise_pps"] > 0:
+        noise = PoissonNoise(
+            rate_pps=params["noise_pps"],
+            rng=_capture_rng(trial_seed, params["seed"], phase + ":noise"),
+        )
+        noise.attach(machine, machine.nic)
+    return machine, collector
+
+
+def _accuracy_train_shard(config: MachineConfig, params: dict, shard: Shard) -> list:
+    """Offline phase: one trial per DDIO mode, returning the fitted
+    per-site representatives (as plain float lists, so they are both
+    picklable and stable-hashable for the eval phase's cache key)."""
+    out = []
+    for index, trial_seed in zip(range(shard.start, shard.stop), shard.trial_seeds):
+        ddio = params["ddio_modes"][index]
+        machine, collector = _noisy_rig(config, ddio, params, trial_seed, "train")
+        attack = WebFingerprintAttack(
+            collector,
+            WebsiteCorpus(),
+            rng=_capture_rng(trial_seed, params["seed"], "train"),
+        )
+        attack.train(loads_per_site=params["train_loads"])
+        out.append(
+            {
+                "ddio": ddio,
+                "representatives": {
+                    site: [float(x) for x in rep]
+                    for site, rep in attack.classifier.representatives.items()
+                },
+            }
+        )
+    return out
+
+
+def _classifier_for(params: dict, ddio: bool) -> CorrelationClassifier:
+    classifier = CorrelationClassifier(
+        trace_length=params["trace_length"], max_lag=params["max_lag"]
+    )
+    reps = next(t["representatives"] for t in params["trained"] if t["ddio"] == ddio)
+    classifier.representatives = {
+        name: np.asarray(rep, dtype=float) for name, rep in reps.items()
+    }
+    return classifier
+
+
+def _accuracy_eval_shard(config: MachineConfig, params: dict, shard: Shard) -> list:
+    """Online phase: each trial is one victim page load, *paired* across
+    the two DDIO settings — the identical load is captured on a DDIO rig
+    and a no-DDIO rig and each capture is classified against its own
+    training representatives.  Pairing cancels trace-sampling variance, so
+    the DDIO-on/off accuracy gap reflects channel quality (the no-DDIO
+    payload lag), exactly the comparison Section V makes."""
+    corpus = WebsiteCorpus()
+    tallies = []
+    for index, trial_seed in zip(range(shard.start, shard.stop), shard.trial_seeds):
+        site, _round = params["units"][index]
+        rng = _capture_rng(trial_seed, params["seed"], "eval")
+        load_trace = corpus.get(site).sample(rng)
+        tally = {"site": site}
+        for ddio in (True, False):
+            machine, collector = _noisy_rig(
+                config, ddio, params, trial_seed, f"eval:{ddio}"
+            )
+            trace = collector.capture_load(load_trace)
+            classifier = _classifier_for(params, ddio)
+            tally[ddio] = classifier.classify(trace) == site
+        tallies.append(tally)
+    return tallies
+
+
 def run_fingerprint_accuracy(
     config: MachineConfig | None = None,
     train_loads: int = 3,
@@ -145,6 +245,8 @@ def run_fingerprint_accuracy(
     trace_length: int = 100,
     seed: int = 77,
     noise_pps: float = 350.0,
+    max_lag: int = 8,
+    runner: ExperimentRunner | None = None,
 ) -> FingerprintAccuracyResult:
     """Train + evaluate the attack with DDIO on, then off.
 
@@ -152,29 +254,67 @@ def run_fingerprint_accuracy(
     every capture — the realism term that keeps accuracy below 100%.
     Without DDIO the spy also probes with the payload-lag delay, which adds
     its own noise (the paper's 89.7% -> 86.5% drop).
-    """
-    from repro.net.traffic import PoissonNoise
 
+    Runs as a two-phase pipeline through ``runner``: an offline *train*
+    phase (one shard per DDIO mode) producing per-site representatives,
+    then an online *eval* phase where every victim page load is an
+    independent trial on its own rig.  Total capture work matches the old
+    serial loop; both phases parallelise, and each caches separately.
+    """
+    base = config or MachineConfig().bench_scale()
+    runner = runner or default_runner()
     corpus = WebsiteCorpus()
-    accuracies: dict[bool, float] = {}
-    for ddio in (True, False):
-        machine, collector = _fingerprint_rig(
-            config, ddio=ddio, trace_length=trace_length, huge_pages=huge_pages
-        )
-        if noise_pps > 0:
-            noise = PoissonNoise(
-                rate_pps=noise_pps,
-                rng=random.Random(seed + (1 if ddio else 2)),
-            )
-            noise.attach(machine, machine.nic)
-        attack = WebFingerprintAttack(
-            collector, corpus, rng=random.Random(seed)
-        )
-        attack.train(loads_per_site=train_loads)
-        accuracies[ddio] = attack.evaluate(trials_per_site=trials_per_site)
-    return FingerprintAccuracyResult(
-        accuracy_ddio=accuracies[True],
-        accuracy_no_ddio=accuracies[False],
-        sites=corpus.names(),
-        trials_per_site=trials_per_site,
+    sites = corpus.names()
+    ddio_modes = [True, False]
+    shared_params = {
+        "train_loads": train_loads,
+        "trace_length": trace_length,
+        "huge_pages": huge_pages,
+        "noise_pps": noise_pps,
+        "seed": seed,
+        "max_lag": max_lag,
+    }
+
+    train_spec = TrialSpec(
+        experiment="accuracy-train",
+        n_trials=len(ddio_modes),
+        trials_per_shard=1,
+        params={"ddio_modes": ddio_modes, **shared_params},
     )
+    trained = runner.run(
+        train_spec,
+        base,
+        _accuracy_train_shard,
+        lambda shard_results: [entry for sub in shard_results for entry in sub],
+    )
+
+    units = [
+        (site, trial) for site in sites for trial in range(trials_per_site)
+    ]
+    eval_spec = TrialSpec(
+        experiment="accuracy-eval",
+        n_trials=len(units),
+        trials_per_shard=max(1, math.ceil(len(units) / 16)),
+        params={
+            "units": [list(unit) for unit in units],
+            "trained": trained,
+            "trials_per_site": trials_per_site,
+            **shared_params,
+        },
+    )
+
+    def reduce(shard_results: list) -> FingerprintAccuracyResult:
+        correct = {True: 0, False: 0}
+        total = 0
+        for tally in (t for sub in shard_results for t in sub):
+            total += 1
+            correct[True] += bool(tally[True])
+            correct[False] += bool(tally[False])
+        return FingerprintAccuracyResult(
+            accuracy_ddio=correct[True] / max(1, total),
+            accuracy_no_ddio=correct[False] / max(1, total),
+            sites=sites,
+            trials_per_site=trials_per_site,
+        )
+
+    return runner.run(eval_spec, base, _accuracy_eval_shard, reduce)

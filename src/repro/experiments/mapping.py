@@ -11,12 +11,14 @@ the attacker-side equivalent is the Fig. 7 footprint scan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 
 from repro.attack.evictionset import page_aligned_set_indices
 from repro.attack.groundtruth import buffers_per_page_aligned_set
 from repro.core.config import MachineConfig
 from repro.core.machine import Machine
+from repro.runner import ExperimentRunner, Shard, TrialSpec, default_runner
 
 
 @dataclass
@@ -97,28 +99,17 @@ def run_fig5(config: MachineConfig | None = None) -> Fig5Result:
     return Fig5Result(counts=counts, n_buffers=len(machine.ring.buffers))
 
 
-def run_fig6(
-    instances: int = 1000, config: MachineConfig | None = None
-) -> Fig6Result:
-    """Repeat Fig. 5 over many initialisations and histogram the counts."""
-    if instances <= 0:
-        raise ValueError("instances must be positive")
-    base = config or MachineConfig().bench_scale()
+def _fig6_shard(config: MachineConfig, params: dict, shard: Shard) -> dict:
+    """One shard of driver initialisations: a partial histogram.
+
+    Each trial is an independent driver init whose machine seed comes from
+    the shard's spawned seed stream, so the result is a pure function of
+    ``(root_seed, shard index)`` — never of the worker count.
+    """
     histogram: dict[int, int] = {}
-    sets_per_instance = None
-    for i in range(instances):
-        cfg = MachineConfig(
-            cache=base.cache,
-            ddio=base.ddio,
-            ring=base.ring,
-            link=base.link,
-            timing=base.timing,
-            processor=base.processor,
-            memory_bytes=base.memory_bytes,
-            numa_nodes=base.numa_nodes,
-            seed=base.seed + i,
-        )
-        machine = Machine(cfg)
+    sets_per_instance = 0
+    for trial_seed in shard.trial_seeds:
+        machine = Machine(replace(config, seed=trial_seed))
         machine.install_nic()
         mapping = buffers_per_page_aligned_set(machine)
         flats = _page_aligned_flat_sets(machine)
@@ -126,8 +117,48 @@ def run_fig6(
         for flat in flats:
             k = mapping.get(flat, 0)
             histogram[k] = histogram.get(k, 0) + 1
+    return {"histogram": histogram, "sets_per_instance": sets_per_instance}
+
+
+def _fig6_reduce(shard_results: list[dict], instances: int) -> Fig6Result:
+    """Merge per-shard partial histograms (order-insensitive: sums only)."""
+    histogram: dict[int, int] = {}
+    sets_per_instance = 0
+    for partial in shard_results:
+        sets_per_instance = partial["sets_per_instance"] or sets_per_instance
+        for k, count in partial["histogram"].items():
+            histogram[k] = histogram.get(k, 0) + count
     return Fig6Result(
         histogram=histogram,
         instances=instances,
-        sets_per_instance=sets_per_instance or 0,
+        sets_per_instance=sets_per_instance,
+    )
+
+
+def run_fig6(
+    instances: int = 1000,
+    config: MachineConfig | None = None,
+    runner: ExperimentRunner | None = None,
+) -> Fig6Result:
+    """Repeat Fig. 5 over many initialisations and histogram the counts.
+
+    The ``instances`` driver inits are independent trials; they run through
+    the sharded ``runner`` (serial by default), at most 32 shards so the
+    per-shard process overhead stays negligible.
+    """
+    if instances <= 0:
+        raise ValueError("instances must be positive")
+    base = config or MachineConfig().bench_scale()
+    runner = runner or default_runner()
+    spec = TrialSpec(
+        experiment="fig6",
+        n_trials=instances,
+        trials_per_shard=max(1, math.ceil(instances / 32)),
+        params={"instances": instances},
+    )
+    return runner.run(
+        spec,
+        base,
+        _fig6_shard,
+        lambda shard_results: _fig6_reduce(shard_results, instances),
     )

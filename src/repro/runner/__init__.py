@@ -1,0 +1,66 @@
+"""Sharded parallel experiment orchestration.
+
+The paper's evaluation is Monte Carlo everywhere — 1000 driver inits for
+Fig. 6, per-site page-load trials for Section V, sweep points for
+Figs. 11/12 — and every trial is independent.  This package turns that
+independence into wall-clock speed without touching the statistics:
+
+* :mod:`repro.runner.spec` — trials → shards with deterministic
+  seed-sequence-spawned seeds (bit-identical results for any ``--jobs``);
+* :mod:`repro.runner.executor` — process-per-shard execution with
+  per-shard timeout and retry-on-crash;
+* :mod:`repro.runner.cache` — content-addressed disk cache keyed by
+  ``(experiment, MachineConfig, params, root_seed)``;
+* :mod:`repro.runner.progress` — trials/sec, shards-done and cache-hit
+  reporting hooks;
+* :mod:`repro.runner.runner` — the :class:`ExperimentRunner` orchestrator
+  the CLI and the experiment harnesses share.
+"""
+
+from repro.runner.cache import (
+    CACHE_FORMAT_VERSION,
+    DEFAULT_CACHE_DIR,
+    MISS,
+    ResultCache,
+    cache_key,
+)
+from repro.runner.executor import (
+    ExecutorStats,
+    ShardCrashError,
+    ShardError,
+    ShardExecutor,
+    ShardFailedError,
+    ShardTimeoutError,
+)
+from repro.runner.progress import (
+    ConsoleProgress,
+    ProgressHook,
+    RecordingProgress,
+    RunnerMetrics,
+)
+from repro.runner.runner import ExperimentRunner, default_runner
+from repro.runner.spec import Shard, ShardPlan, TrialSpec, experiment_tag
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "MISS",
+    "ResultCache",
+    "cache_key",
+    "ExecutorStats",
+    "ShardCrashError",
+    "ShardError",
+    "ShardExecutor",
+    "ShardFailedError",
+    "ShardTimeoutError",
+    "ConsoleProgress",
+    "ProgressHook",
+    "RecordingProgress",
+    "RunnerMetrics",
+    "ExperimentRunner",
+    "default_runner",
+    "Shard",
+    "ShardPlan",
+    "TrialSpec",
+    "experiment_tag",
+]

@@ -1,0 +1,111 @@
+"""Disk-backed, content-addressed result cache under ``.repro-cache/``.
+
+A cache entry is keyed by the stable digest (:mod:`repro.core.hashing`) of
+``(experiment, MachineConfig, params, root_seed, format version)``: any
+change to the machine geometry, the experiment parameters, or the seed
+yields a different key, so a hit is only ever returned for a bit-identical
+rerun.  Entries store the experiment's reduced result object via pickle,
+written atomically (temp file + rename) so a killed run never leaves a
+truncated entry behind.
+
+Corrupt or unreadable entries — truncated pickles, foreign files, stale
+formats — are treated as misses, never as errors: the cache must only ever
+make a rerun faster, not able to fail it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.core.hashing import stable_digest
+
+#: Bump to invalidate every existing entry on a format change.
+CACHE_FORMAT_VERSION = 1
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Sentinel distinguishing "miss" from a cached ``None`` result.
+MISS = object()
+
+
+def cache_key(experiment: str, config, params: Any, root_seed: int) -> str:
+    """Stable hex key for one (experiment, machine, params, seed) tuple."""
+    return stable_digest(
+        {
+            "version": CACHE_FORMAT_VERSION,
+            "experiment": experiment,
+            "config": config.to_dict() if hasattr(config, "to_dict") else config,
+            "params": params,
+            "root_seed": root_seed,
+        }
+    )
+
+
+class ResultCache:
+    """Load/store experiment results keyed by :func:`cache_key`."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def path_for(self, experiment: str, key: str) -> Path:
+        return self.root / f"{experiment}-{key[:16]}.pkl"
+
+    def load(self, experiment: str, key: str) -> Any:
+        """Return the cached result, or :data:`MISS`.
+
+        Anything wrong with the entry — missing, truncated, unpicklable,
+        or keyed for different content — is a miss.
+        """
+        path = self.path_for(experiment, key)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            return MISS
+        if not isinstance(payload, dict):
+            return MISS
+        if payload.get("version") != CACHE_FORMAT_VERSION:
+            return MISS
+        if payload.get("key") != key:
+            return MISS
+        return payload.get("result")
+
+    def store(self, experiment: str, key: str, result: Any) -> Path:
+        """Atomically persist ``result`` and return the entry path."""
+        path = self.path_for(experiment, key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "experiment": experiment,
+            "key": key,
+            "result": result,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{experiment}-", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def invalidate(self, experiment: str, key: str) -> bool:
+        """Drop one entry; returns whether anything was removed."""
+        path = self.path_for(experiment, key)
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False

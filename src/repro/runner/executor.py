@@ -1,0 +1,248 @@
+"""Shard execution: serial in-process, or one OS process per shard.
+
+``jobs == 1`` runs shards inline — no pickling, no fork — which is both
+the debugging path and the baseline the determinism tests compare against.
+``jobs > 1`` runs each shard in its own worker process (up to ``jobs``
+concurrently) so a crashing or hanging shard can be isolated, killed and
+retried without poisoning its siblings — the failure mode a long
+paper-scale sweep actually hits.
+
+Fault policy (per shard):
+
+* **Crash** (worker exits without reporting, e.g. segfault/OOM-kill): the
+  shard is re-run, up to ``max_retries`` extra attempts, before
+  :class:`ShardCrashError` fails the run.
+* **Timeout** (``shard_timeout`` seconds without a result): the worker is
+  terminated and the shard re-run under the same retry budget; exhausted
+  retries raise :class:`ShardTimeoutError`.
+* **Exception** inside the shard function: re-raised in the parent as
+  :class:`ShardFailedError` with the worker traceback appended.  This is
+  deterministic code misbehaving, so it is *not* retried.
+
+Results are always returned ordered by shard index, whatever order the
+workers finished in.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.runner.spec import Shard, ShardPlan
+
+#: shard_fn(config, params, shard) -> picklable partial result
+ShardFn = Callable[[Any, dict, Shard], Any]
+
+
+class ShardError(RuntimeError):
+    """Base class for shard execution failures."""
+
+
+class ShardCrashError(ShardError):
+    """A worker process died repeatedly without reporting a result."""
+
+
+class ShardTimeoutError(ShardError):
+    """A shard exceeded the per-shard timeout on every attempt."""
+
+
+class ShardFailedError(ShardError):
+    """The shard function raised; the worker traceback is in the message."""
+
+
+@dataclass
+class _Attempt:
+    process: multiprocessing.process.BaseProcess
+    connection: Any
+    shard: Shard
+    started: float
+
+
+@dataclass
+class ExecutorStats:
+    """What the execution cost — surfaced through the progress hooks."""
+
+    shards_done: int = 0
+    trials_done: int = 0
+    retries: int = 0
+    wall_seconds: float = 0.0
+    crashed_shards: list[int] = field(default_factory=list)
+
+
+def _shard_worker(connection, shard_fn: ShardFn, config, params: dict, shard: Shard):
+    """Entry point of one worker process: run the shard, report via pipe."""
+    try:
+        result = shard_fn(config, params, shard)
+        connection.send((True, result))
+    except BaseException:  # noqa: BLE001 - report any failure to the parent
+        connection.send((False, traceback.format_exc()))
+    finally:
+        connection.close()
+
+
+class ShardExecutor:
+    """Runs a :class:`ShardPlan` and returns per-shard results in order."""
+
+    #: Poll interval while waiting on worker pipes.
+    _POLL_SECONDS = 0.02
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        shard_timeout: float | None = None,
+        max_retries: int = 1,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.jobs = jobs
+        self.shard_timeout = shard_timeout
+        self.max_retries = max_retries
+        self.stats = ExecutorStats()
+
+    def run(
+        self,
+        shard_fn: ShardFn,
+        plan: ShardPlan,
+        config,
+        on_shard_done: Callable[[Shard], None] | None = None,
+    ) -> list[Any]:
+        start = time.monotonic()
+        self.stats = ExecutorStats()
+        params = dict(plan.spec.params)
+        if self.jobs == 1:
+            results = self._run_serial(shard_fn, plan, config, params, on_shard_done)
+        else:
+            results = self._run_parallel(shard_fn, plan, config, params, on_shard_done)
+        self.stats.wall_seconds = time.monotonic() - start
+        return results
+
+    # -- serial path --------------------------------------------------
+    def _run_serial(self, shard_fn, plan, config, params, on_shard_done) -> list[Any]:
+        results = []
+        for shard in plan.shards:
+            results.append(shard_fn(config, params, shard))
+            self._mark_done(shard, on_shard_done)
+        return results
+
+    # -- parallel path ------------------------------------------------
+    def _run_parallel(self, shard_fn, plan, config, params, on_shard_done) -> list[Any]:
+        context = multiprocessing.get_context()
+        queue: list[Shard] = list(plan.shards)
+        attempts: dict[int, int] = {shard.index: 0 for shard in plan.shards}
+        running: dict[int, _Attempt] = {}
+        results: dict[int, Any] = {}
+
+        def launch(shard: Shard) -> None:
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_shard_worker,
+                args=(child_conn, shard_fn, config, params, shard),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            running[shard.index] = _Attempt(
+                process=process,
+                connection=parent_conn,
+                shard=shard,
+                started=time.monotonic(),
+            )
+
+        def retry_or_fail(shard: Shard, error: ShardError) -> None:
+            if attempts[shard.index] <= self.max_retries:
+                self.stats.retries += 1
+                queue.append(shard)
+            else:
+                raise error
+
+        try:
+            while queue or running:
+                while queue and len(running) < self.jobs:
+                    shard = queue.pop(0)
+                    attempts[shard.index] += 1
+                    launch(shard)
+                self._poll(running, results, retry_or_fail, on_shard_done)
+        finally:
+            for attempt in running.values():
+                attempt.process.terminate()
+            for attempt in running.values():
+                attempt.process.join()
+                attempt.connection.close()
+        return [results[shard.index] for shard in plan.shards]
+
+    def _poll(self, running, results, retry_or_fail, on_shard_done) -> None:
+        """One pass over in-flight workers: harvest, crash-check, time out."""
+        time.sleep(self._POLL_SECONDS)
+        now = time.monotonic()
+        for index in list(running):
+            attempt = running[index]
+            shard = attempt.shard
+            if attempt.connection.poll():
+                try:
+                    ok, payload = attempt.connection.recv()
+                except EOFError:
+                    # The pipe hit EOF with no message: the worker died
+                    # before reporting (e.g. os._exit, segfault).  poll()
+                    # returns True for EOF, so this is the usual way a
+                    # crash is observed — not the is_alive() branch below.
+                    self._reap(running.pop(index))
+                    self.stats.crashed_shards.append(index)
+                    retry_or_fail(
+                        shard,
+                        ShardCrashError(
+                            f"shard {index} worker died (exit code "
+                            f"{attempt.process.exitcode}) and exhausted "
+                            f"{self.max_retries} "
+                            f"retr{'y' if self.max_retries == 1 else 'ies'}"
+                        ),
+                    )
+                    continue
+                self._reap(running.pop(index))
+                if ok:
+                    results[index] = payload
+                    self._mark_done(shard, on_shard_done)
+                else:
+                    raise ShardFailedError(
+                        f"shard {index} of {shard.stop - shard.start} trial(s) "
+                        f"raised in worker:\n{payload}"
+                    )
+            elif not attempt.process.is_alive():
+                self._reap(running.pop(index))
+                self.stats.crashed_shards.append(index)
+                retry_or_fail(
+                    shard,
+                    ShardCrashError(
+                        f"shard {index} worker died (exit code "
+                        f"{attempt.process.exitcode}) and exhausted "
+                        f"{self.max_retries} retr{'y' if self.max_retries == 1 else 'ies'}"
+                    ),
+                )
+            elif (
+                self.shard_timeout is not None
+                and now - attempt.started > self.shard_timeout
+            ):
+                attempt.process.terminate()
+                self._reap(running.pop(index))
+                retry_or_fail(
+                    shard,
+                    ShardTimeoutError(
+                        f"shard {index} exceeded {self.shard_timeout:.1f}s "
+                        f"on every attempt"
+                    ),
+                )
+
+    @staticmethod
+    def _reap(attempt: _Attempt) -> None:
+        attempt.process.join()
+        attempt.connection.close()
+
+    def _mark_done(self, shard: Shard, on_shard_done) -> None:
+        self.stats.shards_done += 1
+        self.stats.trials_done += shard.n_trials
+        if on_shard_done is not None:
+            on_shard_done(shard)

@@ -1,0 +1,109 @@
+"""Progress and metrics hooks for sharded experiment runs.
+
+The runner reports through a :class:`ProgressHook`; the CLI installs
+:class:`ConsoleProgress` to narrate shards, trials/sec and cache hits,
+while tests and library callers use :class:`RecordingProgress` (or nothing
+at all — the default hook is silent).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import TextIO
+
+
+@dataclass
+class RunnerMetrics:
+    """Cost and throughput of one experiment run through the runner."""
+
+    experiment: str
+    shards_total: int = 0
+    shards_done: int = 0
+    trials_total: int = 0
+    trials_done: int = 0
+    retries: int = 0
+    wall_seconds: float = 0.0
+    cache_hit: bool = False
+    jobs: int = 1
+
+    @property
+    def trials_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.trials_done / self.wall_seconds
+
+
+class ProgressHook:
+    """No-op base hook; override any subset of the callbacks."""
+
+    def on_start(self, metrics: RunnerMetrics) -> None:
+        pass
+
+    def on_shard_done(self, metrics: RunnerMetrics) -> None:
+        pass
+
+    def on_cache_hit(self, metrics: RunnerMetrics, key: str) -> None:
+        pass
+
+    def on_finish(self, metrics: RunnerMetrics) -> None:
+        pass
+
+
+@dataclass
+class RecordingProgress(ProgressHook):
+    """Captures every callback — the test double."""
+
+    started: list[RunnerMetrics] = field(default_factory=list)
+    shard_events: list[tuple[int, int]] = field(default_factory=list)
+    cache_hits: list[tuple[str, str]] = field(default_factory=list)
+    finished: list[RunnerMetrics] = field(default_factory=list)
+
+    def on_start(self, metrics: RunnerMetrics) -> None:
+        self.started.append(metrics)
+
+    def on_shard_done(self, metrics: RunnerMetrics) -> None:
+        self.shard_events.append((metrics.shards_done, metrics.trials_done))
+
+    def on_cache_hit(self, metrics: RunnerMetrics, key: str) -> None:
+        self.cache_hits.append((metrics.experiment, key))
+
+    def on_finish(self, metrics: RunnerMetrics) -> None:
+        self.finished.append(metrics)
+
+
+class ConsoleProgress(ProgressHook):
+    """Human-readable narration, one line per event, for the CLI."""
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+
+    def _emit(self, line: str) -> None:
+        print(line, file=self.stream, flush=True)
+
+    def on_start(self, metrics: RunnerMetrics) -> None:
+        self._emit(
+            f"[runner] {metrics.experiment}: {metrics.trials_total} trial(s) "
+            f"over {metrics.shards_total} shard(s), jobs={metrics.jobs}"
+        )
+
+    def on_shard_done(self, metrics: RunnerMetrics) -> None:
+        self._emit(
+            f"[runner] {metrics.experiment}: shard {metrics.shards_done}"
+            f"/{metrics.shards_total} done "
+            f"({metrics.trials_done}/{metrics.trials_total} trials)"
+        )
+
+    def on_cache_hit(self, metrics: RunnerMetrics, key: str) -> None:
+        self._emit(
+            f"[cache] {metrics.experiment}: hit ({key[:16]}) — skipping execution"
+        )
+
+    def on_finish(self, metrics: RunnerMetrics) -> None:
+        if metrics.cache_hit:
+            return
+        retries = f", {metrics.retries} retr{'y' if metrics.retries == 1 else 'ies'}"
+        self._emit(
+            f"[runner] {metrics.experiment}: done in {metrics.wall_seconds:.1f}s "
+            f"({metrics.trials_per_second:.1f} trials/s{retries})"
+        )

@@ -1,0 +1,151 @@
+"""The experiment runner: plan → (cache?) → execute shards → reduce → store.
+
+:class:`ExperimentRunner` is the one object the CLI and the experiment
+harnesses share.  ``run()`` takes a :class:`TrialSpec`, a shard function
+and a reduce function and returns the experiment's usual result object;
+``run_cached()`` wraps experiments that have no trial structure worth
+sharding (single driver inits, workload models) so *every* experiment
+participates in the disk cache and a warm ``python -m repro all`` executes
+nothing.
+
+Seeding contract: the root seed defaults to ``config.seed``; shard and
+trial seeds are spawned from ``(root_seed, experiment, shard_index)`` (see
+:mod:`repro.runner.spec`), so a given ``--seed`` fixes every number in the
+output regardless of ``--jobs``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.core.config import MachineConfig
+from repro.runner.cache import MISS, ResultCache, cache_key
+from repro.runner.executor import ShardExecutor, ShardFn
+from repro.runner.progress import ProgressHook, RunnerMetrics
+from repro.runner.spec import Shard, ShardPlan, TrialSpec
+
+#: reduce_fn(ordered per-shard results) -> experiment result object
+ReduceFn = Callable[[list[Any]], Any]
+
+
+class ExperimentRunner:
+    """Executes trial specs with sharding, seeding, caching and progress."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        root_seed: int | None = None,
+        cache: ResultCache | None = None,
+        use_cache: bool = False,
+        force: bool = False,
+        progress: ProgressHook | None = None,
+        shard_timeout: float | None = None,
+        max_retries: int = 1,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.root_seed = root_seed
+        self.cache = cache if cache is not None else ResultCache()
+        self.use_cache = use_cache
+        self.force = force
+        self.progress = progress or ProgressHook()
+        self.shard_timeout = shard_timeout
+        self.max_retries = max_retries
+        #: Metrics of every run this runner performed, in order.
+        self.history: list[RunnerMetrics] = []
+
+    # -- helpers ------------------------------------------------------
+    def _effective_seed(self, config: MachineConfig) -> int:
+        return self.root_seed if self.root_seed is not None else config.seed
+
+    def _try_cache(
+        self, experiment: str, key: str, metrics: RunnerMetrics
+    ) -> Any:
+        if not self.use_cache or self.force:
+            return MISS
+        cached = self.cache.load(experiment, key)
+        if cached is not MISS:
+            metrics.cache_hit = True
+            self.progress.on_cache_hit(metrics, key)
+            self.progress.on_finish(metrics)
+            self.history.append(metrics)
+        return cached
+
+    def _store(self, experiment: str, key: str, result: Any) -> None:
+        if self.use_cache:
+            self.cache.store(experiment, key, result)
+
+    # -- sharded experiments ------------------------------------------
+    def run(
+        self,
+        spec: TrialSpec,
+        config: MachineConfig,
+        shard_fn: ShardFn,
+        reduce_fn: ReduceFn,
+    ) -> Any:
+        """Run ``spec`` through the shard executor (or return a cache hit)."""
+        root_seed = self._effective_seed(config)
+        key = cache_key(spec.experiment, config, dict(spec.params), root_seed)
+        metrics = RunnerMetrics(
+            experiment=spec.experiment,
+            shards_total=spec.n_shards,
+            trials_total=spec.n_trials,
+            jobs=self.jobs,
+        )
+        cached = self._try_cache(spec.experiment, key, metrics)
+        if cached is not MISS:
+            return cached
+
+        plan = ShardPlan.build(spec, root_seed)
+        executor = ShardExecutor(
+            jobs=self.jobs,
+            shard_timeout=self.shard_timeout,
+            max_retries=self.max_retries,
+        )
+        self.progress.on_start(metrics)
+
+        def on_shard_done(shard: Shard) -> None:
+            metrics.shards_done = executor.stats.shards_done
+            metrics.trials_done = executor.stats.trials_done
+            metrics.retries = executor.stats.retries
+            self.progress.on_shard_done(metrics)
+
+        shard_results = executor.run(shard_fn, plan, config, on_shard_done)
+        result = reduce_fn(shard_results)
+        metrics.retries = executor.stats.retries
+        metrics.wall_seconds = executor.stats.wall_seconds
+        self._store(spec.experiment, key, result)
+        self.progress.on_finish(metrics)
+        self.history.append(metrics)
+        return result
+
+    # -- unsharded experiments ----------------------------------------
+    def run_cached(
+        self,
+        experiment: str,
+        config: MachineConfig,
+        params: dict,
+        fn: Callable[[], Any],
+    ) -> Any:
+        """Cache-only wrapper for experiments without a trial fan-out."""
+        import time
+
+        root_seed = self._effective_seed(config)
+        key = cache_key(experiment, config, params, root_seed)
+        metrics = RunnerMetrics(experiment=experiment, jobs=self.jobs)
+        cached = self._try_cache(experiment, key, metrics)
+        if cached is not MISS:
+            return cached
+        start = time.monotonic()
+        result = fn()
+        metrics.wall_seconds = time.monotonic() - start
+        self._store(experiment, key, result)
+        self.history.append(metrics)
+        return result
+
+
+def default_runner() -> ExperimentRunner:
+    """The runner experiments build when called without one: serial, no
+    cache, silent — byte-for-byte the behaviour library callers expect."""
+    return ExperimentRunner(jobs=1, use_cache=False)

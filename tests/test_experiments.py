@@ -126,16 +126,17 @@ class TestCli:
 
         assert main(["not-a-thing"]) == 2
 
-    def test_run_one(self, capsys):
+    def test_run_one(self, capsys, tmp_path):
         from repro.cli import main
 
-        assert main(["fig5"]) == 0
+        assert main(["fig5", "--cache-dir", str(tmp_path / "cache")]) == 0
         out = capsys.readouterr().out
         assert "Fig.5" in out
 
     def test_every_listed_experiment_is_runnable_object(self):
         from repro.cli import EXPERIMENTS
 
-        for name, (description, runner) in EXPERIMENTS.items():
-            assert description
-            assert callable(runner)
+        for name, definition in EXPERIMENTS.items():
+            assert definition.description
+            assert callable(definition.run)
+            assert isinstance(definition.params, dict)

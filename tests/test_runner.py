@@ -1,0 +1,345 @@
+"""Unit tests for the sharded experiment runner.
+
+Covers the four runner layers: seed-sequence shard planning, the
+process-per-shard executor (parallel equivalence, crash retry, timeout,
+worker exceptions), the content-addressed disk cache (hit/miss/force/
+corruption), and the orchestrator's cache plumbing.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.hashing import canonicalize, stable_digest
+from repro.runner import (
+    MISS,
+    ExperimentRunner,
+    RecordingProgress,
+    ResultCache,
+    ShardCrashError,
+    ShardExecutor,
+    ShardFailedError,
+    ShardPlan,
+    ShardTimeoutError,
+    TrialSpec,
+    cache_key,
+)
+
+
+# ---------------------------------------------------------------------------
+# module-level shard functions (must be picklable for worker processes)
+# ---------------------------------------------------------------------------
+
+def _seed_shard(config, params, shard):
+    """Pure function of the shard's seeds — the determinism probe."""
+    return [seed % params.get("mod", 1_000_003) for seed in shard.trial_seeds]
+
+
+def _crash_once_shard(config, params, shard):
+    """Dies hard on first attempt, succeeds after the sentinel exists."""
+    sentinel = params["sentinel_dir"] + f"/shard-{shard.index}"
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("attempted")
+        os._exit(17)  # simulate a segfault/OOM-kill: no exception, no result
+    return shard.index
+
+
+def _always_crash_shard(config, params, shard):
+    os._exit(23)
+
+
+def _raise_shard(config, params, shard):
+    raise ValueError(f"shard {shard.index} is unhappy")
+
+
+def _hang_shard(config, params, shard):
+    import time
+
+    time.sleep(60)
+    return shard.index
+
+
+# ---------------------------------------------------------------------------
+# stable hashing
+# ---------------------------------------------------------------------------
+
+class TestStableHashing:
+    def test_dict_order_independent(self):
+        assert stable_digest({"a": 1, "b": 2.5}) == stable_digest({"b": 2.5, "a": 1})
+
+    def test_tuple_and_list_equivalent(self):
+        assert stable_digest((1, 2, 3)) == stable_digest([1, 2, 3])
+
+    def test_distinct_values_distinct_digests(self):
+        assert stable_digest({"x": 1}) != stable_digest({"x": 2})
+        assert stable_digest(1.0) != stable_digest(1)
+
+    def test_dataclass_support(self):
+        cfg = MachineConfig().scaled_down()
+        assert stable_digest(cfg) == stable_digest(cfg)
+        assert stable_digest(cfg) != stable_digest(MachineConfig().bench_scale())
+
+    def test_rejects_unhashable_types(self):
+        with pytest.raises(TypeError):
+            stable_digest(object())
+
+    def test_canonical_set_is_sorted(self):
+        assert canonicalize({3, 1, 2}) == canonicalize({2, 3, 1})
+
+
+class TestMachineConfigSerialization:
+    def test_scaled_down_round_trips(self):
+        cfg = MachineConfig().scaled_down()
+        assert MachineConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_bench_scale_round_trips(self):
+        cfg = MachineConfig().bench_scale()
+        assert MachineConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_config_hash_tracks_content(self):
+        cfg = MachineConfig().scaled_down()
+        assert cfg.config_hash() == MachineConfig.from_dict(cfg.to_dict()).config_hash()
+        assert cfg.config_hash() != MachineConfig().bench_scale().config_hash()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = MachineConfig().to_dict()
+        data["warp_drive"] = True
+        with pytest.raises(ValueError):
+            MachineConfig.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# shard planning and seeding
+# ---------------------------------------------------------------------------
+
+class TestShardPlan:
+    def test_covers_all_trials_exactly_once(self):
+        spec = TrialSpec("exp", n_trials=10, trials_per_shard=3)
+        plan = ShardPlan.build(spec, 42)
+        spans = [(s.start, s.stop) for s in plan.shards]
+        assert spans == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        assert sum(s.n_trials for s in plan.shards) == 10
+
+    def test_seeds_deterministic_and_jobs_independent(self):
+        spec = TrialSpec("exp", n_trials=8, trials_per_shard=2)
+        a = ShardPlan.build(spec, 1234)
+        b = ShardPlan.build(spec, 1234)
+        assert a == b  # nothing about the plan depends on execution context
+
+    def test_seeds_vary_with_root_seed_and_experiment(self):
+        spec = TrialSpec("exp", n_trials=4, trials_per_shard=2)
+        base = ShardPlan.build(spec, 1)
+        other_seed = ShardPlan.build(spec, 2)
+        other_name = ShardPlan.build(
+            TrialSpec("exp2", n_trials=4, trials_per_shard=2), 1
+        )
+        assert base.shards[0].trial_seeds != other_seed.shards[0].trial_seeds
+        assert base.shards[0].trial_seeds != other_name.shards[0].trial_seeds
+
+    def test_trial_seeds_unique_across_shards(self):
+        spec = TrialSpec("exp", n_trials=64, trials_per_shard=5)
+        plan = ShardPlan.build(spec, 7)
+        seeds = [seed for shard in plan.shards for seed in shard.trial_seeds]
+        assert len(set(seeds)) == len(seeds)
+        assert all(0 <= seed < 2**63 for seed in seeds)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            TrialSpec("exp", n_trials=0)
+        with pytest.raises(ValueError):
+            TrialSpec("exp", n_trials=1, trials_per_shard=0)
+        with pytest.raises(ValueError):
+            TrialSpec("", n_trials=1)
+        with pytest.raises(ValueError):
+            ShardPlan.build(TrialSpec("exp", n_trials=1), -1)
+
+
+# ---------------------------------------------------------------------------
+# executor
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def plan():
+    return ShardPlan.build(TrialSpec("exec", n_trials=9, trials_per_shard=2), 99)
+
+
+class TestShardExecutor:
+    def test_parallel_matches_serial(self, plan, scaled_config):
+        serial = ShardExecutor(jobs=1).run(_seed_shard, plan, scaled_config)
+        parallel = ShardExecutor(jobs=3).run(_seed_shard, plan, scaled_config)
+        assert serial == parallel
+        assert len(serial) == len(plan.shards)
+
+    def test_crashed_worker_is_retried_once(self, plan, scaled_config, tmp_path):
+        plan = ShardPlan.build(
+            TrialSpec(
+                "crashy",
+                n_trials=4,
+                trials_per_shard=2,
+                params={"sentinel_dir": str(tmp_path)},
+            ),
+            5,
+        )
+        executor = ShardExecutor(jobs=2, max_retries=1)
+        results = executor.run(_crash_once_shard, plan, scaled_config)
+        assert results == [0, 1]
+        assert executor.stats.retries == 2  # both shards crashed once
+        assert sorted(executor.stats.crashed_shards) == [0, 1]
+
+    def test_persistent_crash_fails_the_run(self, scaled_config):
+        plan = ShardPlan.build(TrialSpec("dead", n_trials=1), 5)
+        with pytest.raises(ShardCrashError):
+            ShardExecutor(jobs=2, max_retries=1).run(
+                _always_crash_shard, plan, scaled_config
+            )
+
+    def test_worker_exception_propagates_without_retry(self, scaled_config):
+        plan = ShardPlan.build(TrialSpec("raises", n_trials=2), 5)
+        executor = ShardExecutor(jobs=2, max_retries=3)
+        with pytest.raises(ShardFailedError, match="is unhappy"):
+            executor.run(_raise_shard, plan, scaled_config)
+        assert executor.stats.retries == 0
+
+    def test_hung_shard_times_out(self, scaled_config):
+        plan = ShardPlan.build(TrialSpec("hang", n_trials=1), 5)
+        with pytest.raises(ShardTimeoutError):
+            ShardExecutor(jobs=2, shard_timeout=0.3, max_retries=0).run(
+                _hang_shard, plan, scaled_config
+            )
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            ShardExecutor(jobs=0)
+
+
+# ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = "a" * 64
+        assert cache.load("exp", key) is MISS
+        cache.store("exp", key, {"rows": [1, 2]})
+        assert cache.load("exp", key) == {"rows": [1, 2]}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "b" * 64
+        path = cache.store("exp", key, "payload")
+        path.write_bytes(b"definitely not a pickle")
+        assert cache.load("exp", key) is MISS
+        path.write_bytes(pickle.dumps(["wrong", "shape"]))
+        assert cache.load("exp", key) is MISS
+        path.write_bytes(b"")
+        assert cache.load("exp", key) is MISS
+
+    def test_key_collision_on_prefix_is_a_miss(self, tmp_path):
+        """An entry written for different full-key content never hits."""
+        cache = ResultCache(tmp_path)
+        key_a = "c" * 16 + "1" * 48
+        key_b = "c" * 16 + "2" * 48  # same 16-char file prefix
+        cache.store("exp", key_a, "A")
+        assert cache.load("exp", key_b) is MISS
+
+    def test_cached_none_result_is_distinguishable_from_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "d" * 64
+        cache.store("exp", key, None)
+        assert cache.load("exp", key) is None
+
+    def test_cache_key_sensitivity(self, scaled_config):
+        base = cache_key("exp", scaled_config, {"n": 1}, 7)
+        assert base == cache_key("exp", scaled_config, {"n": 1}, 7)
+        assert base != cache_key("exp2", scaled_config, {"n": 1}, 7)
+        assert base != cache_key("exp", scaled_config, {"n": 2}, 7)
+        assert base != cache_key("exp", scaled_config, {"n": 1}, 8)
+        assert base != cache_key("exp", MachineConfig().bench_scale(), {"n": 1}, 7)
+
+
+# ---------------------------------------------------------------------------
+# orchestrator
+# ---------------------------------------------------------------------------
+
+class TestExperimentRunner:
+    def _runner(self, tmp_path, **kwargs):
+        defaults = dict(
+            cache=ResultCache(tmp_path / "cache"),
+            use_cache=True,
+            progress=RecordingProgress(),
+        )
+        defaults.update(kwargs)
+        return ExperimentRunner(**defaults)
+
+    def test_cache_hit_skips_execution(self, tmp_path, scaled_config):
+        spec = TrialSpec("exp", n_trials=4, trials_per_shard=2, params={"mod": 17})
+        first = self._runner(tmp_path)
+        cold = first.run(spec, scaled_config, _seed_shard, lambda rs: sum(rs, []))
+        second = self._runner(tmp_path)
+        warm = second.run(spec, scaled_config, _seed_shard, lambda rs: sum(rs, []))
+        assert cold == warm
+        assert not first.history[0].cache_hit
+        assert second.history[0].cache_hit
+        assert second.progress.cache_hits  # progress narrated the hit
+
+    def test_force_reexecutes_and_overwrites(self, tmp_path, scaled_config):
+        spec = TrialSpec("exp", n_trials=2, params={"mod": 11})
+        self._runner(tmp_path).run(
+            spec, scaled_config, _seed_shard, lambda rs: sum(rs, [])
+        )
+        forced = self._runner(tmp_path, force=True)
+        forced.run(spec, scaled_config, _seed_shard, lambda rs: sum(rs, []))
+        assert not forced.history[0].cache_hit
+        assert forced.progress.shard_events  # shards actually ran
+
+    def test_no_cache_never_touches_disk(self, tmp_path, scaled_config):
+        spec = TrialSpec("exp", n_trials=2)
+        runner = self._runner(tmp_path, use_cache=False)
+        runner.run(spec, scaled_config, _seed_shard, lambda rs: sum(rs, []))
+        assert not (tmp_path / "cache").exists()
+
+    def test_root_seed_changes_results(self, tmp_path, scaled_config):
+        spec = TrialSpec("exp", n_trials=4)
+        a = self._runner(tmp_path, root_seed=1, use_cache=False).run(
+            spec, scaled_config, _seed_shard, lambda rs: sum(rs, [])
+        )
+        b = self._runner(tmp_path, root_seed=2, use_cache=False).run(
+            spec, scaled_config, _seed_shard, lambda rs: sum(rs, [])
+        )
+        assert a != b
+
+    def test_run_cached_hit_miss_force(self, tmp_path, scaled_config):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return {"value": 42}
+
+        runner = self._runner(tmp_path)
+        assert runner.run_cached("plain", scaled_config, {"p": 1}, fn)["value"] == 42
+        assert runner.run_cached("plain", scaled_config, {"p": 1}, fn)["value"] == 42
+        assert len(calls) == 1  # second call was a cache hit
+        forced = self._runner(tmp_path, force=True)
+        forced.run_cached("plain", scaled_config, {"p": 1}, fn)
+        assert len(calls) == 2
+        # different params -> different key -> miss
+        runner.run_cached("plain", scaled_config, {"p": 2}, fn)
+        assert len(calls) == 3
+
+    def test_progress_metrics_shape(self, tmp_path, scaled_config):
+        spec = TrialSpec("exp", n_trials=6, trials_per_shard=2)
+        runner = self._runner(tmp_path)
+        runner.run(spec, scaled_config, _seed_shard, lambda rs: sum(rs, []))
+        metrics = runner.history[0]
+        assert metrics.shards_total == 3
+        assert metrics.shards_done == 3
+        assert metrics.trials_done == 6
+        assert metrics.wall_seconds > 0
+        assert metrics.trials_per_second > 0
+        assert runner.progress.shard_events == [(1, 2), (2, 4), (3, 6)]

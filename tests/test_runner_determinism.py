@@ -1,0 +1,63 @@
+"""Jobs-independence: ``--jobs N`` must never change the numbers.
+
+The runner's core invariant is that shard planning and seeding depend only
+on ``(spec, root_seed)``, so the same experiment produces byte-identical
+``format_rows()`` output whether it ran serially or fanned out over worker
+processes.  These tests pin that for the two experiments ISSUE'd by name —
+Fig. 6 (trial fan-out) and the Section V fingerprint pipeline (two-phase
+train/eval) — at scaled-down sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fingerprinting import run_fingerprint_accuracy
+from repro.experiments.mapping import run_fig6
+from repro.runner import ExperimentRunner
+
+
+def _runner(jobs: int) -> ExperimentRunner:
+    return ExperimentRunner(jobs=jobs, use_cache=False)
+
+
+class TestFig6JobsIndependence:
+    def test_jobs_1_vs_4_identical_rows(self, scaled_config):
+        serial = run_fig6(instances=12, config=scaled_config, runner=_runner(1))
+        fanned = run_fig6(instances=12, config=scaled_config, runner=_runner(4))
+        assert serial.format_rows() == fanned.format_rows()
+        assert serial.histogram == fanned.histogram
+
+    def test_root_seed_changes_histogram(self, scaled_config):
+        a = run_fig6(instances=12, config=scaled_config, runner=_runner(1))
+        other = ExperimentRunner(jobs=1, use_cache=False, root_seed=12345)
+        b = run_fig6(instances=12, config=scaled_config, runner=other)
+        assert a.histogram != b.histogram
+
+    def test_runner_optional_default_matches_explicit_serial(self, scaled_config):
+        implicit = run_fig6(instances=8, config=scaled_config)
+        explicit = run_fig6(instances=8, config=scaled_config, runner=_runner(1))
+        assert implicit.format_rows() == explicit.format_rows()
+
+
+class TestFingerprintJobsIndependence:
+    @pytest.fixture(scope="class")
+    def params(self, request):
+        return dict(
+            train_loads=1,
+            trials_per_site=1,
+            huge_pages=4,
+            trace_length=40,
+            noise_pps=200.0,
+        )
+
+    def test_jobs_1_vs_4_identical_rows(self, scaled_config, params):
+        serial = run_fingerprint_accuracy(
+            scaled_config, runner=_runner(1), **params
+        )
+        fanned = run_fingerprint_accuracy(
+            scaled_config, runner=_runner(4), **params
+        )
+        assert serial.format_rows() == fanned.format_rows()
+        assert serial.accuracy_ddio == fanned.accuracy_ddio
+        assert serial.accuracy_no_ddio == fanned.accuracy_no_ddio
