@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Guard the telemetry layer's zero-overhead-when-disabled promise.
+
+Runs the fig6 smoke case twice per round — once with no telemetry at all
+(the seed behaviour) and once with a *disabled* telemetry session
+installed, which is the worst case a non-tracing user pays: every machine
+wires the hooks, every hook site performs its ``is None`` / ``enabled``
+guard, and nothing records.  The best-of-N wall-clock times must agree
+within the tolerance (default 5%, per the acceptance criteria) and the
+experiment results must be bit-identical.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_telemetry_overhead.py
+    PYTHONPATH=src python scripts/check_telemetry_overhead.py \
+        --instances 24 --rounds 5 --tolerance 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.config import MachineConfig
+from repro.experiments.mapping import run_fig6
+from repro.telemetry import Telemetry, session
+
+
+def _time_once(config: MachineConfig, instances: int, telemetry: Telemetry | None):
+    start = time.perf_counter()
+    if telemetry is None:
+        result = run_fig6(instances=instances, config=config)
+    else:
+        with session(telemetry):
+            result = run_fig6(instances=instances, config=config)
+    return time.perf_counter() - start, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--instances", type=int, default=48,
+                        help="fig6 driver inits per run (default 48; smaller "
+                        "runs drown the comparison in scheduler noise)")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="interleaved timing rounds; best-of is compared")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed relative overhead (default 0.05 = 5%%)")
+    args = parser.parse_args(argv)
+
+    config = MachineConfig().scaled_down()
+    # Warm-up: first run pays import/alloc costs that are not telemetry's.
+    _time_once(config, args.instances, None)
+
+    baseline_times, disabled_times = [], []
+    baseline_result = disabled_result = None
+    for _ in range(args.rounds):
+        # Interleave the two modes so drift (thermal, noisy neighbours)
+        # hits both equally instead of biasing whichever ran last.
+        seconds, baseline_result = _time_once(config, args.instances, None)
+        baseline_times.append(seconds)
+        seconds, disabled_result = _time_once(
+            config, args.instances, Telemetry.create(trace=False, metrics=False)
+        )
+        disabled_times.append(seconds)
+
+    if baseline_result.histogram != disabled_result.histogram:
+        print("FAIL: disabled telemetry changed the fig6 histogram")
+        return 1
+
+    baseline = min(baseline_times)
+    disabled = min(disabled_times)
+    overhead = (disabled - baseline) / baseline
+    print(
+        f"fig6 smoke ({args.instances} inits, best of {args.rounds}): "
+        f"baseline {baseline:.3f}s, disabled-telemetry {disabled:.3f}s, "
+        f"overhead {overhead:+.1%} (tolerance {args.tolerance:.0%})"
+    )
+    if overhead > args.tolerance:
+        print("FAIL: disabled-telemetry overhead exceeds tolerance")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,7 @@ class EvictionSet:
         self.threshold = threshold
         self.set_index = set_index
         self.label = label
+        self._telemetry = process.machine.telemetry
 
     def __len__(self) -> int:
         return len(self.addrs)
@@ -77,6 +78,9 @@ class EvictionSet:
 
     def probe(self) -> int:
         """Timed zig-zag traversal; returns the number of misses seen."""
+        tele = self._telemetry
+        if tele is not None and tele.metrics.enabled:
+            return self._probe_metered(tele)
         timed = self.process.timed_access
         is_miss = self.threshold.is_miss
         misses = 0
@@ -84,6 +88,24 @@ class EvictionSet:
             if is_miss(timed(addr)):
                 misses += 1
         self.addrs.reverse()
+        return misses
+
+    def _probe_metered(self, tele) -> int:
+        """Probe while feeding per-access latencies into the metrics
+        registry — identical accesses and return value, just observed."""
+        timed = self.process.timed_access
+        is_miss = self.threshold.is_miss
+        histogram = tele.metrics.histogram("probe.latency_cycles")
+        misses = 0
+        for addr in reversed(self.addrs):
+            latency = timed(addr)
+            histogram.observe(latency)
+            if is_miss(latency):
+                misses += 1
+        self.addrs.reverse()
+        tele.metrics.counter("probe.accesses").inc(len(self.addrs))
+        if misses:
+            tele.metrics.counter("probe.misses").inc(misses)
         return misses
 
     def probe_fast(self) -> int:

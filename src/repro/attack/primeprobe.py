@@ -64,6 +64,19 @@ class ProbeMonitor:
 
     def prime(self) -> None:
         """Initial fill of every monitored set."""
+        tele = self.process.machine.telemetry
+        if tele is not None and tele.tracer.enabled:
+            with tele.tracer.span(
+                "prime",
+                cat="attack",
+                args={
+                    "sets": len(self.sets),
+                    "sim_now": self.process.machine.clock.now,
+                },
+            ):
+                for es in self.sets:
+                    es.prime()
+            return
         for es in self.sets:
             es.prime()
 
@@ -85,17 +98,35 @@ class ProbeMonitor:
         if n_samples <= 0:
             raise ValueError(f"n_samples must be positive, got {n_samples}")
         machine = self.process.machine
+        tele = machine.telemetry
+        traced = tele is not None and tele.tracer.enabled
         self.prime()
         samples: list[list[int]] = []
         times: list[int] = []
-        for _ in range(n_samples):
+        for i in range(n_samples):
             if wait_cycles:
                 machine.idle(wait_cycles)
             times.append(machine.clock.now)
-            if fast_probe:
+            if traced:
+                with tele.tracer.span(
+                    "probe",
+                    cat="attack",
+                    args={"sample": i, "sim_now": machine.clock.now},
+                ):
+                    if fast_probe:
+                        row = [es.probe_fast() for es in self.sets]
+                    else:
+                        row = [es.probe() for es in self.sets]
+                tele.tracer.counter(
+                    "probe.misses", {"misses": sum(row)}, cat="attack"
+                )
+                samples.append(row)
+            elif fast_probe:
                 samples.append([es.probe_fast() for es in self.sets])
             else:
                 samples.append([es.probe() for es in self.sets])
+        if tele is not None and tele.metrics.enabled:
+            tele.metrics.counter("probe.sweeps").inc(n_samples)
         return SampleTrace(
             samples=samples,
             times=times,

@@ -24,7 +24,7 @@ plus a candidate node").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.attack.evictionset import EvictionSet

@@ -52,6 +52,10 @@ class SlicedLLC:
             CacheSet(self.geometry.ways) for _ in range(self.geometry.total_sets)
         ]
         self.stats = CacheStats()
+        #: Observability: set by Machine when telemetry is installed; every
+        #: hook below guards on ``is not None`` so the untelemetered hot
+        #: path is unchanged.
+        self.telemetry = None
         #: Defense hook: when set, victim selection is delegated to the
         #: partition (see repro.defense.partitioning.AdaptivePartition).
         self.partition = None
@@ -145,6 +149,8 @@ class SlicedLLC:
         self.stats.io_fills += 1
         if self.io_fill_hook is not None:
             self.io_fill_hook(flat)
+        if self.telemetry is not None:
+            self.telemetry.on_dma_fill()
         if self.partition is not None:
             evicted = self.partition.victim_for_io_fill(self, flat, cset, now)
             if evicted is not None:
@@ -210,6 +216,8 @@ class SlicedLLC:
             self.stats.io_evicted_io += 1
         elif by_io:
             self.stats.io_evicted_cpu += 1
+            if self.telemetry is not None:
+                self.telemetry.on_io_evict_cpu(line)
         elif victim_is_io:
             self.stats.cpu_evicted_io += 1
 

@@ -43,6 +43,37 @@ class CacheStats:
         """Plain-dict copy of all counters."""
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
+    @classmethod
+    def from_snapshot(cls, snap: dict[str, int]) -> "CacheStats":
+        """Rebuild a stats object from a :meth:`snapshot` dict."""
+        return cls(**{name: snap.get(name, 0) for name in cls.__dataclass_fields__})
+
+    def merge(self, other: "CacheStats | dict") -> "CacheStats":
+        """Add another stats object (or snapshot dict) into this one.
+
+        Used to combine per-shard / per-phase counters; returns ``self``
+        so merges chain.
+        """
+        get = other.get if isinstance(other, dict) else lambda n, _d=0: getattr(other, n)
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + get(name, 0))
+        return self
+
+    def delta(self, since: "CacheStats | dict") -> "CacheStats":
+        """Counters accumulated since an earlier snapshot, as a new object.
+
+        The measurement-window idiom every workload and telemetry phase
+        uses: snapshot before, ``delta`` after, read derived rates off the
+        returned object (e.g. ``.miss_rate``).
+        """
+        base = since if isinstance(since, dict) else since.snapshot()
+        return CacheStats(
+            **{
+                name: getattr(self, name) - base.get(name, 0)
+                for name in self.__dataclass_fields__
+            }
+        )
+
 
 @dataclass
 class SetActivity:

@@ -20,11 +20,22 @@ result is cached under ``.repro-cache/`` keyed by (experiment, machine
 config, parameters, seed) — a warm rerun of ``all`` executes nothing.
 ``python -m repro all`` exits non-zero if any experiment failed and prints
 a per-experiment summary table either way.
+
+Observability (see OBSERVABILITY.md)::
+
+    python -m repro trace fig6            # run traced, write fig6.trace.json
+    python -m repro fig7 --trace t.json   # Chrome trace -> Perfetto
+    python -m repro table1 --metrics m.json
+
+``--trace``/``--metrics`` install a :mod:`repro.telemetry` session for the
+run; traced runs force re-execution (a cache hit records nothing) and the
+trace/metrics files are written next to the printed summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 import traceback
@@ -34,6 +45,7 @@ from typing import Any, Callable
 from repro.core.config import MachineConfig
 from repro.runner import ConsoleProgress, ExperimentRunner, ResultCache
 from repro.runner.cache import DEFAULT_CACHE_DIR
+from repro.telemetry import Telemetry, session
 from repro import experiments as exp
 
 
@@ -203,6 +215,8 @@ class ExperimentOutcome:
     ok: bool
     wall_seconds: float
     error: str = ""
+    cached: bool = False
+    phases: str = ""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -212,7 +226,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'list', or 'all'",
+        help="experiment name, 'list', 'all', or 'trace' (traced run of TARGET)",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="experiment to trace (only with the 'trace' command)",
     )
     parser.add_argument(
         "--paper-scale",
@@ -250,6 +270,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_CACHE_DIR,
         metavar="DIR",
         help=f"result cache location (default {DEFAULT_CACHE_DIR!r})",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a Chrome trace_event JSON to PATH (open in Perfetto); "
+        "forces re-execution",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write a JSON metrics snapshot (counters, latency histograms, "
+        "runner phase timings) to PATH; forces re-execution",
     )
     return parser
 
@@ -294,17 +328,30 @@ def run_one(
     for row in result.format_rows():
         print(row)
     print(f"   ({wall:.1f}s wall)\n")
-    return ExperimentOutcome(name=name, ok=True, wall_seconds=wall)
+    outcome = ExperimentOutcome(name=name, ok=True, wall_seconds=wall)
+    history = [m for m in runner.history if m.experiment == name]
+    if history:
+        outcome.cached = all(m.cache_hit for m in history)
+        phase_totals: dict[str, float] = {}
+        for m in history:
+            for phase, seconds in m.phase_seconds.items():
+                phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
+        outcome.phases = " ".join(
+            f"{phase}={seconds:.1f}s" for phase, seconds in phase_totals.items()
+        )
+    return outcome
 
 
 def print_summary(outcomes: list[ExperimentOutcome]) -> None:
     width = max(len(outcome.name) for outcome in outcomes)
     print("== summary ==")
-    print(f"  {'experiment':{width}s}  {'status':6s}  {'wall':>7s}")
+    print(f"  {'experiment':{width}s}  {'status':6s}  {'wall':>7s}  {'cache':5s}  phases")
     for outcome in outcomes:
         status = "ok" if outcome.ok else "FAILED"
+        cache = "hit" if outcome.cached else "-"
         print(
             f"  {outcome.name:{width}s}  {status:6s}  {outcome.wall_seconds:6.1f}s"
+            f"  {cache:5s}  {outcome.phases}"
             + (f"  {outcome.error}" if outcome.error else "")
         )
     failed = sum(1 for outcome in outcomes if not outcome.ok)
@@ -315,8 +362,52 @@ def print_summary(outcomes: list[ExperimentOutcome]) -> None:
     )
 
 
+def _write_telemetry(
+    telemetry: Telemetry, args: argparse.Namespace, runner: ExperimentRunner
+) -> None:
+    """Export the session's trace / metrics files and say where they went."""
+    if args.trace:
+        n_events = telemetry.tracer.write_chrome(args.trace)
+        dropped = telemetry.tracer.dropped
+        note = f" ({dropped} dropped)" if dropped else ""
+        print(
+            f"[telemetry] wrote {n_events} trace event(s){note} to {args.trace} "
+            "— open at https://ui.perfetto.dev"
+        )
+    if args.metrics:
+        payload = {
+            "metrics": telemetry.metrics.snapshot(),
+            "runner": [
+                {
+                    "experiment": m.experiment,
+                    "wall_seconds": m.wall_seconds,
+                    "phase_seconds": m.phase_seconds,
+                    "shards": m.shards_done,
+                    "trials": m.trials_done,
+                    "retries": m.retries,
+                    "cache_hit": m.cache_hit,
+                    "jobs": m.jobs,
+                    "worker_utilization": m.worker_utilization,
+                }
+                for m in runner.history
+            ],
+        }
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"[telemetry] wrote metrics snapshot to {args.metrics}")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "trace":
+        if args.target is None:
+            raise SystemExit("usage: repro trace <experiment> [--trace PATH]")
+        args.experiment = args.target
+        args.target = None
+        if args.trace is None:
+            args.trace = f"{args.experiment}.trace.json"
+    if args.target is not None:
+        raise SystemExit(f"unexpected extra argument {args.target!r}")
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name, definition in EXPERIMENTS.items():
@@ -331,16 +422,33 @@ def main(argv: list[str] | None = None) -> int:
         if args.seed < 0:
             raise SystemExit("--seed must be non-negative")
         config = replace(config, seed=args.seed)
+    telemetry = None
+    if args.trace or args.metrics:
+        telemetry = Telemetry.create(
+            trace=args.trace is not None, metrics=args.metrics is not None
+        )
+        # A cache hit executes nothing, so a traced/metered run would record
+        # nothing; force re-execution (results are still stored back).
+        args.force = True
     runner = build_runner(args)
-    if args.experiment == "all":
-        outcomes = [run_one(name, config, runner) for name in EXPERIMENTS]
-        print_summary(outcomes)
-        return 0 if all(outcome.ok for outcome in outcomes) else 1
-    if args.experiment not in EXPERIMENTS:
-        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
-        return 2
-    outcome = run_one(args.experiment, config, runner)
-    return 0 if outcome.ok else 1
+
+    def execute() -> int:
+        if args.experiment == "all":
+            outcomes = [run_one(name, config, runner) for name in EXPERIMENTS]
+            print_summary(outcomes)
+            return 0 if all(outcome.ok for outcome in outcomes) else 1
+        if args.experiment not in EXPERIMENTS:
+            print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+            return 2
+        outcome = run_one(args.experiment, config, runner)
+        return 0 if outcome.ok else 1
+
+    if telemetry is None:
+        return execute()
+    with session(telemetry):
+        status = execute()
+    _write_telemetry(telemetry, args, runner)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -6,6 +6,12 @@ processes (the spy probing the cache, victim workloads).  CPU actors drive
 the clock forward with their memory accesses; before each access the machine
 drains all events whose timestamp has been reached, so packet DMA lands in
 the cache at the correct simulated instant relative to the spy's probes.
+
+Cancellation is tombstone-based: ``Event.cancel`` marks the entry and tells
+the queue, which keeps an exact live count (so ``len()`` is O(1) and never
+counts tombstones) and drops cancelled entries lazily when they surface at
+the heap top — or eagerly, by compacting the heap, once tombstones
+outnumber live events.
 """
 
 from __future__ import annotations
@@ -14,6 +20,10 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+#: Compaction threshold: rebuild the heap when it holds more than this many
+#: entries and over half of them are tombstones.
+_COMPACT_MIN_HEAP = 64
 
 
 @dataclass(order=True)
@@ -29,10 +39,20 @@ class Event:
     action: Callable[[], Any] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _queue: "EventQueue | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so it is skipped when its time arrives."""
+        """Mark the event so it is skipped when its time arrives.
+
+        Safe to call repeatedly, and a no-op after the event has fired.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        self._queue = None
+        if queue is not None:
+            queue._on_cancel()
 
 
 class EventQueue:
@@ -41,17 +61,37 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0
+        #: Optional telemetry tracer; when set (and enabled), every labelled
+        #: event that fires is recorded as an instant trace event.
+        self.tracer = None
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def schedule(self, time: int, action: Callable[[], Any], label: str = "") -> Event:
         """Schedule ``action`` to run at absolute cycle ``time``."""
         if time < 0:
             raise ValueError(f"cannot schedule event in negative time: {time}")
-        event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        event = Event(
+            time=time, seq=next(self._counter), action=action, label=label, _queue=self
+        )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
+
+    def _on_cancel(self) -> None:
+        """Bookkeeping for one cancellation; compacts when tombstone-heavy."""
+        self._live -= 1
+        heap = self._heap
+        if len(heap) > _COMPACT_MIN_HEAP and self._live * 2 < len(heap):
+            self._heap = [event for event in heap if not event.cancelled]
+            heapq.heapify(self._heap)
+
+    @property
+    def heap_size(self) -> int:
+        """Heap entries including tombstones (introspection for tests)."""
+        return len(self._heap)
 
     def peek_time(self) -> int | None:
         """Timestamp of the earliest pending event, or ``None`` if empty."""
@@ -66,10 +106,17 @@ class EventQueue:
         call if their time is also due.
         """
         fired = 0
+        tracer = self.tracer
         while self._heap and self._heap[0].time <= now:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event._queue = None
+            self._live -= 1
+            if tracer is not None and tracer.enabled and event.label:
+                tracer.instant(
+                    f"event:{event.label}", cat="events", args={"sim_now": event.time}
+                )
             event.action()
             fired += 1
         return fired
@@ -89,4 +136,7 @@ class EventQueue:
 
     def clear(self) -> None:
         """Drop all pending events."""
+        for event in self._heap:
+            event._queue = None
         self._heap.clear()
+        self._live = 0

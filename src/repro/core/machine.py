@@ -27,6 +27,7 @@ from repro.core.config import MachineConfig
 from repro.core.events import EventQueue
 from repro.mem.addrspace import AddressSpace
 from repro.mem.physmem import PhysicalMemory
+from repro.telemetry.context import Telemetry, current_telemetry
 
 
 class Process:
@@ -85,9 +86,18 @@ class Process:
 class Machine:
     """Assembled simulation of the paper's DDIO host."""
 
-    def __init__(self, config: MachineConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: MachineConfig | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         self.config = config or MachineConfig()
         cfg = self.config
+        #: Observability hooks.  Defaults to the ambient telemetry (see
+        #: repro.telemetry.context) so experiments need no plumbing; when
+        #: ``None`` every hook site short-circuits and the machine behaves
+        #: bit-identically to an uninstrumented build.
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
         self.rng = random.Random(cfg.seed)
         self.clock = SimClock(cfg.processor.frequency_hz)
         self.events = EventQueue()
@@ -107,6 +117,9 @@ class Machine:
         self.nic = None
         self.driver = None
         self.ring = None
+        if self.telemetry is not None:
+            self.llc.telemetry = self.telemetry
+            self.events.tracer = self.telemetry.tracer
 
     # ------------------------------------------------------------------
     # Assembly
@@ -125,12 +138,31 @@ class Machine:
 
         if self.nic is not None:
             raise RuntimeError("NIC already installed")
-        self.ring = RxRing(
-            self.physmem,
-            config=self.config.ring,
-            node=node,
-            rng=random.Random(self.config.seed + 2),
-        )
+
+        def build_ring() -> RxRing:
+            return RxRing(
+                self.physmem,
+                config=self.config.ring,
+                node=node,
+                rng=random.Random(self.config.seed + 2),
+            )
+
+        tele = self.telemetry
+        if tele is not None and tele.tracer.enabled:
+            # The initial buffer allocation is the driver's
+            # igb_alloc_rx_buffers pass — trace it as a refill.
+            with tele.tracer.span(
+                "driver-refill",
+                cat="driver",
+                args={
+                    "reason": "init",
+                    "descriptors": self.config.ring.n_descriptors,
+                    "sim_now": self.clock.now,
+                },
+            ):
+                self.ring = build_ring()
+        else:
+            self.ring = build_ring()
         self.driver = IgbDriver(
             self,
             self.ring,

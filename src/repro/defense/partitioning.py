@@ -20,7 +20,7 @@ never has to tick 16384 counters per cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cache.cacheset import CacheSet
 

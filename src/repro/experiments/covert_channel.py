@@ -19,7 +19,6 @@ from dataclasses import dataclass
 
 from repro.analysis.capacity import ChannelReport
 from repro.analysis.lfsr import lfsr_symbols
-from repro.attack.chase import PacketChaser
 from repro.attack.covert import (
     CovertReceiver,
     CovertTrojan,

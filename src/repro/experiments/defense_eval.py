@@ -23,7 +23,6 @@ from repro.perf.workloads import (
     FileCopyWorkload,
     NginxServer,
     TcpRecvWorkload,
-    WorkloadReport,
 )
 from repro.perf.wrk import FIG16_PERCENTILES, LatencyReport, LoadGenerator
 

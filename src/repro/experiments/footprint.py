@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.attack.evictionset import OracleEvictionSetBuilder
-from repro.attack.primeprobe import ProbeMonitor, SampleTrace
+from repro.attack.primeprobe import ProbeMonitor
 from repro.attack.timing import calibrate_threshold
 from repro.core.config import MachineConfig
 from repro.core.machine import Machine

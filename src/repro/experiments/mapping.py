@@ -19,6 +19,7 @@ from repro.attack.groundtruth import buffers_per_page_aligned_set
 from repro.core.config import MachineConfig
 from repro.core.machine import Machine
 from repro.runner import ExperimentRunner, Shard, TrialSpec, default_runner
+from repro.telemetry import current_telemetry
 
 
 @dataclass
@@ -90,13 +91,55 @@ def _page_aligned_flat_sets(machine: Machine) -> list[int]:
     return out
 
 
+def _traced_probe_window(
+    config: MachineConfig, n_samples: int = 16, n_frames: int = 24
+) -> None:
+    """Append an attacker-side demonstration window to an active trace.
+
+    Figs. 5/6 are pure ground-truth measurements — no packets, no probes —
+    so a trace of them alone would show only driver-refill activity.  When
+    tracing is enabled, this runs one short PRIME+PROBE window against a
+    broadcast burst (the attacker-side counterpart from Fig. 7) so the
+    exported trace contains the whole pipeline: prime, probe, dma-fill and
+    driver-rx/refill spans plus per-probe miss counters.  Results of the
+    mapping experiment are computed before this runs and are unaffected.
+    """
+    telemetry = current_telemetry()
+    if telemetry is None or not telemetry.tracer.enabled:
+        return
+    from repro.attack.evictionset import OracleEvictionSetBuilder
+    from repro.attack.primeprobe import ProbeMonitor
+    from repro.attack.timing import calibrate_threshold
+    from repro.net.packet import Frame
+
+    with telemetry.tracer.span("trace-probe-window", cat="experiment"):
+        machine = Machine(config)
+        machine.install_nic()
+        spy = machine.new_process("spy")
+        threshold = calibrate_threshold(spy)
+        builder = OracleEvictionSetBuilder(spy, threshold, huge_pages=4)
+        groups = builder.build_page_aligned_groups(block=0)
+        monitor = ProbeMonitor(spy, groups)
+        gap = max(1, machine.clock.cycles(1.0 / 200_000.0))
+        for k in range(n_frames):
+            machine.events.schedule(
+                machine.clock.now + (k + 1) * gap,
+                lambda m=machine: m.nic.deliver(Frame(size=128, protocol="broadcast")),
+                label="trace-window-rx",
+            )
+        monitor.sample(n_samples, wait_cycles=max(gap, 20_000))
+
+
 def run_fig5(config: MachineConfig | None = None) -> Fig5Result:
     """One driver initialisation; count buffers per page-aligned set."""
-    machine = Machine(config or MachineConfig().bench_scale())
+    base = config or MachineConfig().bench_scale()
+    machine = Machine(base)
     machine.install_nic()
     mapping = buffers_per_page_aligned_set(machine)
     counts = [mapping.get(flat, 0) for flat in _page_aligned_flat_sets(machine)]
-    return Fig5Result(counts=counts, n_buffers=len(machine.ring.buffers))
+    result = Fig5Result(counts=counts, n_buffers=len(machine.ring.buffers))
+    _traced_probe_window(base)
+    return result
 
 
 def _fig6_shard(config: MachineConfig, params: dict, shard: Shard) -> dict:
@@ -156,9 +199,11 @@ def run_fig6(
         trials_per_shard=max(1, math.ceil(instances / 32)),
         params={"instances": instances},
     )
-    return runner.run(
+    result = runner.run(
         spec,
         base,
         _fig6_shard,
         lambda shard_results: _fig6_reduce(shard_results, instances),
     )
+    _traced_probe_window(base)
+    return result

@@ -25,7 +25,7 @@ Receive-path behaviour reproduced here:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.config import RingConfig
 from repro.net.packet import Frame
@@ -92,6 +92,23 @@ class IgbDriver:
     # ------------------------------------------------------------------
     def receive(self, frame: Frame, buffer: RxBuffer, ring_slot: int) -> None:
         """Process one frame that the NIC has DMA'd into ``buffer``."""
+        tele = self.machine.telemetry
+        if tele is not None and tele.tracer.enabled:
+            with tele.tracer.span(
+                "driver-rx",
+                cat="driver",
+                args={
+                    "slot": ring_slot,
+                    "size": frame.size,
+                    "blocks": frame.n_blocks(self._line),
+                    "sim_now": self.machine.clock.now,
+                },
+            ):
+                self._receive(frame, buffer, ring_slot)
+            return
+        self._receive(frame, buffer, ring_slot)
+
+    def _receive(self, frame: Frame, buffer: RxBuffer, ring_slot: int) -> None:
         llc = self.machine.llc
         now = self.machine.clock.now
         base = buffer.dma_paddr
@@ -167,9 +184,29 @@ class IgbDriver:
         else:
             buffer.flip(self.config.buffer_size)
             self.stats.page_flips += 1
+            tele = self.machine.telemetry
+            if tele is not None and tele.tracer.enabled:
+                tele.tracer.instant(
+                    "page-flip",
+                    cat="driver",
+                    args={"slot": buffer.index, "offset": buffer.page_offset},
+                )
 
     def _replace(self, buffer: RxBuffer) -> None:
-        self.ring.replace_buffer(buffer.index)
+        tele = self.machine.telemetry
+        if tele is not None and tele.tracer.enabled:
+            with tele.tracer.span(
+                "driver-refill",
+                cat="driver",
+                args={
+                    "reason": "replace",
+                    "slot": buffer.index,
+                    "sim_now": self.machine.clock.now,
+                },
+            ):
+                self.ring.replace_buffer(buffer.index)
+        else:
+            self.ring.replace_buffer(buffer.index)
         self.stats.buffers_replaced += 1
 
     def _after_packet(self, buffer: RxBuffer) -> None:

@@ -50,8 +50,24 @@ class Nic:
         buffer = self.ring.advance()
         base = buffer.dma_paddr
         n_blocks = frame.n_blocks(self._line)
-        for i in range(n_blocks):
-            llc.io_write(base + i * self._line, now=now)
+        tele = machine.telemetry
+        if tele is not None and tele.tracer.enabled:
+            with tele.tracer.span(
+                "dma-fill",
+                cat="nic",
+                args={
+                    "slot": ring_slot,
+                    "size": frame.size,
+                    "blocks": n_blocks,
+                    "ddio": llc.ddio.enabled,
+                    "sim_now": now,
+                },
+            ):
+                for i in range(n_blocks):
+                    llc.io_write(base + i * self._line, now=now)
+        else:
+            for i in range(n_blocks):
+                llc.io_write(base + i * self._line, now=now)
         self.stats.frames += 1
         self.stats.blocks_written += n_blocks
 

@@ -81,13 +81,12 @@ class FileCopyWorkload:
                 self.agent.read(src_base + i * self._line)
                 self.agent.write(dst_base + i * self._line)
         cycles = machine.clock.now - start
-        stats1 = llc.stats
         return WorkloadReport(
             items=n_chunks,
             cycles=cycles,
             reads=llc.traffic.reads - traffic0[0],
             writes=llc.traffic.writes - traffic0[1],
-            llc_miss_rate=_window_miss_rate(stats0, stats1),
+            llc_miss_rate=llc.stats.delta(stats0).miss_rate,
         )
 
 
@@ -132,7 +131,7 @@ class TcpRecvWorkload:
             cycles=cycles,
             reads=llc.traffic.reads - traffic0[0],
             writes=llc.traffic.writes - traffic0[1],
-            llc_miss_rate=_window_miss_rate(stats0, llc.stats),
+            llc_miss_rate=llc.stats.delta(stats0).miss_rate,
         )
 
 
@@ -235,13 +234,5 @@ class NginxServer:
             cycles=machine.clock.now - start,
             reads=llc.traffic.reads - traffic0[0],
             writes=llc.traffic.writes - traffic0[1],
-            llc_miss_rate=_window_miss_rate(stats0, llc.stats),
+            llc_miss_rate=llc.stats.delta(stats0).miss_rate,
         )
-
-
-def _window_miss_rate(before: dict[str, int], after) -> float:
-    """CPU miss rate over a measurement window."""
-    hits = after.cpu_hits - before["cpu_hits"]
-    misses = after.cpu_misses - before["cpu_misses"]
-    total = hits + misses
-    return misses / total if total else 0.0

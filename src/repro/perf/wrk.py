@@ -9,7 +9,7 @@ histogram.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.stats import percentiles
 

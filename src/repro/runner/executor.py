@@ -29,7 +29,7 @@ import multiprocessing
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
 from repro.runner.spec import Shard, ShardPlan
 
@@ -70,6 +70,9 @@ class ExecutorStats:
     retries: int = 0
     wall_seconds: float = 0.0
     crashed_shards: list[int] = field(default_factory=list)
+    #: Wall-clock seconds of each completed shard, in completion order
+    #: (launch-to-harvest for workers) — feeds utilization accounting.
+    shard_seconds: list[float] = field(default_factory=list)
 
 
 def _shard_worker(connection, shard_fn: ShardFn, config, params: dict, shard: Shard):
@@ -125,8 +128,9 @@ class ShardExecutor:
     def _run_serial(self, shard_fn, plan, config, params, on_shard_done) -> list[Any]:
         results = []
         for shard in plan.shards:
+            started = time.monotonic()
             results.append(shard_fn(config, params, shard))
-            self._mark_done(shard, on_shard_done)
+            self._mark_done(shard, on_shard_done, time.monotonic() - started)
         return results
 
     # -- parallel path ------------------------------------------------
@@ -205,7 +209,7 @@ class ShardExecutor:
                 self._reap(running.pop(index))
                 if ok:
                     results[index] = payload
-                    self._mark_done(shard, on_shard_done)
+                    self._mark_done(shard, on_shard_done, now - attempt.started)
                 else:
                     raise ShardFailedError(
                         f"shard {index} of {shard.stop - shard.start} trial(s) "
@@ -241,8 +245,9 @@ class ShardExecutor:
         attempt.process.join()
         attempt.connection.close()
 
-    def _mark_done(self, shard: Shard, on_shard_done) -> None:
+    def _mark_done(self, shard: Shard, on_shard_done, seconds: float = 0.0) -> None:
         self.stats.shards_done += 1
         self.stats.trials_done += shard.n_trials
+        self.stats.shard_seconds.append(seconds)
         if on_shard_done is not None:
             on_shard_done(shard)

@@ -26,12 +26,29 @@ class RunnerMetrics:
     wall_seconds: float = 0.0
     cache_hit: bool = False
     jobs: int = 1
+    #: Wall-clock seconds per runner phase (plan / execute / reduce, or
+    #: ``run`` for unsharded experiments), filled by the runner.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Wall-clock seconds each shard spent executing (completion order).
+    shard_seconds: list[float] = field(default_factory=list)
 
     @property
     def trials_per_second(self) -> float:
         if self.wall_seconds <= 0:
             return 0.0
         return self.trials_done / self.wall_seconds
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of worker capacity the execute phase kept busy.
+
+        1.0 means every worker computed the whole time; low values flag
+        stragglers or shard-size imbalance.  0.0 when nothing executed.
+        """
+        execute = self.phase_seconds.get("execute", 0.0)
+        if execute <= 0 or self.jobs <= 0 or not self.shard_seconds:
+            return 0.0
+        return min(1.0, sum(self.shard_seconds) / (self.jobs * execute))
 
 
 class ProgressHook:
@@ -103,7 +120,21 @@ class ConsoleProgress(ProgressHook):
         if metrics.cache_hit:
             return
         retries = f", {metrics.retries} retr{'y' if metrics.retries == 1 else 'ies'}"
-        self._emit(
-            f"[runner] {metrics.experiment}: done in {metrics.wall_seconds:.1f}s "
-            f"({metrics.trials_per_second:.1f} trials/s{retries})"
+        rate = (
+            f"{metrics.trials_per_second:.1f} trials/s"
+            if metrics.trials_total
+            else "unsharded"
         )
+        line = (
+            f"[runner] {metrics.experiment}: done in {metrics.wall_seconds:.1f}s "
+            f"({rate}{retries})"
+        )
+        if metrics.phase_seconds:
+            phases = ", ".join(
+                f"{name} {seconds:.2f}s"
+                for name, seconds in metrics.phase_seconds.items()
+            )
+            line += f" [{phases}]"
+            if metrics.jobs > 1 and metrics.shard_seconds:
+                line += f" util={metrics.worker_utilization:.0%}"
+        self._emit(line)

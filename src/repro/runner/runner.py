@@ -16,13 +16,19 @@ output regardless of ``--jobs``.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
 from repro.core.config import MachineConfig
 from repro.runner.cache import MISS, ResultCache, cache_key
 from repro.runner.executor import ShardExecutor, ShardFn
 from repro.runner.progress import ProgressHook, RunnerMetrics
 from repro.runner.spec import Shard, ShardPlan, TrialSpec
+from repro.telemetry import (
+    PhaseTimer,
+    TelemetrizedShardFn,
+    current_telemetry,
+    merge_shard_payloads,
+)
 
 #: reduce_fn(ordered per-shard results) -> experiment result object
 ReduceFn = Callable[[list[Any]], Any]
@@ -97,7 +103,13 @@ class ExperimentRunner:
         if cached is not MISS:
             return cached
 
-        plan = ShardPlan.build(spec, root_seed)
+        telemetry = current_telemetry()
+        timer = PhaseTimer(
+            tracer=None if telemetry is None else telemetry.tracer,
+            span_prefix=f"runner:{spec.experiment}:",
+        )
+        with timer.phase("plan"):
+            plan = ShardPlan.build(spec, root_seed)
         executor = ShardExecutor(
             jobs=self.jobs,
             shard_timeout=self.shard_timeout,
@@ -111,10 +123,25 @@ class ExperimentRunner:
             metrics.retries = executor.stats.retries
             self.progress.on_shard_done(metrics)
 
-        shard_results = executor.run(shard_fn, plan, config, on_shard_done)
-        result = reduce_fn(shard_results)
+        run_fn: ShardFn = shard_fn
+        telemetrized = telemetry is not None and telemetry.active
+        if telemetrized:
+            run_fn = TelemetrizedShardFn(
+                shard_fn,
+                trace=telemetry.tracer.enabled,
+                metrics=telemetry.metrics.enabled,
+                max_events=telemetry.tracer.max_events,
+            )
+        with timer.phase("execute"):
+            shard_results = executor.run(run_fn, plan, config, on_shard_done)
+        if telemetrized:
+            shard_results = merge_shard_payloads(shard_results)
+        with timer.phase("reduce"):
+            result = reduce_fn(shard_results)
         metrics.retries = executor.stats.retries
         metrics.wall_seconds = executor.stats.wall_seconds
+        metrics.phase_seconds = dict(timer.seconds)
+        metrics.shard_seconds = list(executor.stats.shard_seconds)
         self._store(spec.experiment, key, result)
         self.progress.on_finish(metrics)
         self.history.append(metrics)
@@ -129,17 +156,21 @@ class ExperimentRunner:
         fn: Callable[[], Any],
     ) -> Any:
         """Cache-only wrapper for experiments without a trial fan-out."""
-        import time
-
         root_seed = self._effective_seed(config)
         key = cache_key(experiment, config, params, root_seed)
         metrics = RunnerMetrics(experiment=experiment, jobs=self.jobs)
         cached = self._try_cache(experiment, key, metrics)
         if cached is not MISS:
             return cached
-        start = time.monotonic()
-        result = fn()
-        metrics.wall_seconds = time.monotonic() - start
+        telemetry = current_telemetry()
+        timer = PhaseTimer(
+            tracer=None if telemetry is None else telemetry.tracer,
+            span_prefix=f"runner:{experiment}:",
+        )
+        with timer.phase("run"):
+            result = fn()
+        metrics.wall_seconds = timer.seconds["run"]
+        metrics.phase_seconds = dict(timer.seconds)
         self._store(experiment, key, result)
         self.history.append(metrics)
         return result

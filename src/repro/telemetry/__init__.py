@@ -1,0 +1,62 @@
+"""Structured tracing, metrics and profiling for the simulated machine.
+
+The paper's argument is temporal — DDIO fills displacing spy lines, probe
+latencies crossing thresholds, ring-buffer reuse order — and this package
+makes every run inspectable on exactly those axes:
+
+* :mod:`repro.telemetry.tracer` — span/instant/counter event tracing,
+  exported as Chrome ``trace_event`` JSON (opens in Perfetto) or JSONL;
+* :mod:`repro.telemetry.metrics` — counters, gauges and fixed-bucket
+  latency histograms with snapshot/merge and per-phase deltas;
+* :mod:`repro.telemetry.context` — the ambient installation mechanism
+  machines pick telemetry up from;
+* :mod:`repro.telemetry.profile` — wall-clock phase timing for the runner;
+* :mod:`repro.telemetry.shard` — cross-process capture so ``--jobs N``
+  runs lose nothing.
+
+See OBSERVABILITY.md for the API guide, how to open traces in Perfetto,
+and measured overhead.  Telemetry is opt-in: with nothing installed every
+hook site short-circuits on a single ``is None`` check and results are
+bit-identical to an untelemetered build.
+"""
+
+from repro.telemetry.context import (
+    Telemetry,
+    current_telemetry,
+    install,
+    session,
+)
+from repro.telemetry.metrics import (
+    PROBE_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.profile import PhaseTimer
+from repro.telemetry.shard import (
+    SHARD_PID_BASE,
+    ShardTelemetryPayload,
+    TelemetrizedShardFn,
+    merge_shard_payloads,
+)
+from repro.telemetry.tracer import DEFAULT_MAX_EVENTS, Tracer
+
+__all__ = [
+    "Telemetry",
+    "current_telemetry",
+    "install",
+    "session",
+    "PROBE_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseTimer",
+    "SHARD_PID_BASE",
+    "ShardTelemetryPayload",
+    "TelemetrizedShardFn",
+    "merge_shard_payloads",
+    "DEFAULT_MAX_EVENTS",
+    "Tracer",
+]

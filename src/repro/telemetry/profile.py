@@ -1,0 +1,53 @@
+"""Wall-clock phase timing for the runner (and anything else host-side).
+
+:class:`PhaseTimer` measures named phases of *host* execution — plan,
+execute, reduce — with ``time.perf_counter``.  It is cheap enough to run
+unconditionally (two clock reads per phase), so the runner always fills
+``RunnerMetrics.phase_seconds`` whether or not telemetry is installed; when
+a tracer is attached the phases additionally appear as spans on a
+``runner`` track in the exported trace.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.telemetry.tracer import Tracer
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase."""
+
+    def __init__(self, tracer: Tracer | None = None, span_prefix: str = "") -> None:
+        self.seconds: dict[str, float] = {}
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
+        self._span_prefix = span_prefix
+
+    class _Phase:
+        __slots__ = ("_timer", "_name", "_start", "_span")
+
+        def __init__(self, timer: "PhaseTimer", name: str) -> None:
+            self._timer = timer
+            self._name = name
+            self._span = None
+
+        def __enter__(self):
+            timer = self._timer
+            if timer._tracer is not None:
+                self._span = timer._tracer.span(
+                    timer._span_prefix + self._name, cat="runner"
+                )
+                self._span.__enter__()
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc_info) -> None:
+            elapsed = time.perf_counter() - self._start
+            timer = self._timer
+            timer.seconds[self._name] = timer.seconds.get(self._name, 0.0) + elapsed
+            if self._span is not None:
+                self._span.__exit__(*exc_info)
+
+    def phase(self, name: str) -> "PhaseTimer._Phase":
+        """``with timer.phase("execute"): ...``"""
+        return PhaseTimer._Phase(self, name)

@@ -1,0 +1,80 @@
+"""Cross-process telemetry collection for sharded experiment runs.
+
+Shard workers run in separate processes, so events and counters they record
+would vanish with the worker.  :class:`TelemetrizedShardFn` wraps a shard
+function so that **in a worker process** it installs a fresh ambient
+:class:`~repro.telemetry.context.Telemetry`, runs the shard, and ships the
+recorded events and metrics snapshot back through the result pipe; the
+runner then folds them into the parent telemetry (trace events appear as a
+per-shard process track, metrics merge by addition).  **In the parent
+process** (``--jobs 1``) the ambient telemetry is already live, so the
+wrapper runs the shard directly and returns an empty payload.
+
+The wrapper is picklable as long as the wrapped shard function is — the
+same constraint the executor already imposes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any
+
+from repro.telemetry.context import Telemetry, current_telemetry, install
+
+
+@dataclass
+class ShardTelemetryPayload:
+    """A shard's result plus whatever telemetry the worker recorded."""
+
+    result: Any
+    trace_events: list[dict] | None = None
+    metrics_snapshot: dict | None = None
+
+
+class TelemetrizedShardFn:
+    """Wraps a shard function to capture telemetry across process borders."""
+
+    def __init__(self, shard_fn, trace: bool, metrics: bool, max_events: int) -> None:
+        self.shard_fn = shard_fn
+        self.trace = trace
+        self.metrics = metrics
+        self.max_events = max_events
+        self.origin_pid = os.getpid()
+
+    def __call__(self, config, params: dict, shard) -> ShardTelemetryPayload:
+        if os.getpid() == self.origin_pid:
+            # Serial path: the parent's ambient telemetry records directly.
+            return ShardTelemetryPayload(self.shard_fn(config, params, shard))
+        telemetry = Telemetry.create(
+            trace=self.trace, metrics=self.metrics, max_events=self.max_events
+        )
+        previous = install(telemetry)
+        try:
+            result = self.shard_fn(config, params, shard)
+        finally:
+            install(previous)
+        return ShardTelemetryPayload(
+            result=result,
+            trace_events=telemetry.tracer.events if self.trace else None,
+            metrics_snapshot=telemetry.metrics.snapshot() if self.metrics else None,
+        )
+
+
+#: pid offset for per-shard trace tracks in the merged Chrome trace.
+SHARD_PID_BASE = 100
+
+
+def merge_shard_payloads(payloads: list[ShardTelemetryPayload]) -> list[Any]:
+    """Fold worker telemetry into the ambient telemetry; return raw results."""
+    telemetry = current_telemetry()
+    results = []
+    for index, payload in enumerate(payloads):
+        results.append(payload.result)
+        if telemetry is None:
+            continue
+        if payload.trace_events:
+            telemetry.tracer.absorb(payload.trace_events, pid=SHARD_PID_BASE + index)
+        if payload.metrics_snapshot:
+            telemetry.metrics.merge_snapshot(payload.metrics_snapshot)
+    return results

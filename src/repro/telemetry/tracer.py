@@ -1,0 +1,224 @@
+"""Structured event tracing in Chrome ``trace_event`` format.
+
+A :class:`Tracer` records three kinds of events while the simulation runs:
+
+* **spans** — named intervals with wall-clock duration (``ph: "X"``
+  complete events).  Components wrap their work in ``with tracer.span(...)``
+  so a run decomposes into prime/probe sweeps, per-frame DMA fills, driver
+  receive work and runner phases.
+* **instants** — point events (``ph: "i"``) for things with no duration in
+  the model, e.g. an I/O fill evicting a CPU line.
+* **counters** — sampled values (``ph: "C"``) such as per-probe miss
+  counts, which Perfetto renders as a stacked area track.
+
+Timestamps are host wall-clock microseconds since the tracer was created —
+that is what makes spans render with real widths (simulated time does not
+advance while Python executes a driver receive).  Every event additionally
+carries the *simulated* cycle count in ``args.sim_now`` when the caller
+provides it, so the two timelines can be correlated.
+
+The exported file (:meth:`Tracer.write_chrome`) loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``; :meth:`Tracer.write_jsonl`
+emits the same events one JSON object per line for ad-hoc ``jq`` analysis.
+
+Tracing is **opt-in**: nothing in the simulator constructs a tracer on its
+own, and all hook sites guard on ``machine.telemetry is None`` first, so a
+run without telemetry executes the exact pre-telemetry instruction stream.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, TextIO
+
+#: Default cap on buffered events; beyond it events are counted as dropped
+#: rather than recorded, bounding memory on long traced runs.
+DEFAULT_MAX_EVENTS = 500_000
+
+
+class _Span:
+    """Context manager recording one complete ("X") event on exit."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict | None):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self._start = self._tracer._now_us()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        tracer = self._tracer
+        end = tracer._now_us()
+        event = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": "X",
+            "ts": self._start,
+            "dur": end - self._start,
+            "pid": tracer.pid,
+            "tid": tracer.tid,
+        }
+        if self.args:
+            event["args"] = self.args
+        tracer._emit(event)
+
+
+class _NullSpan:
+    """Shared no-op span returned when the tracer is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Buffered trace-event recorder with Chrome/JSONL export.
+
+    ``enabled`` is the one flag hook sites consult; a disabled tracer
+    records nothing and its :meth:`span` returns a shared no-op context
+    manager.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        pid: int = 1,
+        tid: int = 1,
+        process_name: str = "repro-sim",
+    ) -> None:
+        self.enabled = enabled
+        self.max_events = max_events
+        self.pid = pid
+        self.tid = tid
+        self.process_name = process_name
+        self.events: list[dict] = []
+        self.dropped = 0
+        self._t0 = time.perf_counter_ns()
+
+    # -- recording ----------------------------------------------------
+    def _now_us(self) -> float:
+        return (time.perf_counter_ns() - self._t0) / 1000.0
+
+    def _emit(self, event: dict) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def span(self, name: str, cat: str = "sim", args: dict | None = None):
+        """Context manager recording ``name`` as a complete event."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, args)
+
+    def instant(self, name: str, cat: str = "sim", args: dict | None = None) -> None:
+        """Record a point event."""
+        if not self.enabled:
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "ts": self._now_us(),
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def counter(self, name: str, values: dict[str, Any] | float, cat: str = "sim") -> None:
+        """Record a counter sample (scalar or named series)."""
+        if not self.enabled:
+            return
+        if not isinstance(values, dict):
+            values = {"value": values}
+        self._emit(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "C",
+                "ts": self._now_us(),
+                "pid": self.pid,
+                "tid": self.tid,
+                "args": values,
+            }
+        )
+
+    # -- merging ------------------------------------------------------
+    def absorb(self, events: list[dict], pid: int) -> None:
+        """Merge events recorded in another process under process id ``pid``.
+
+        Each shard worker has its own wall-clock origin, so absorbed events
+        keep their own timeline but appear as a separate process track.
+        """
+        for event in events:
+            merged = dict(event)
+            merged["pid"] = pid
+            self._emit(merged)
+
+    # -- export -------------------------------------------------------
+    def _metadata_events(self) -> list[dict]:
+        pids = {e["pid"] for e in self.events} | {self.pid}
+        out = []
+        for pid in sorted(pids):
+            name = self.process_name if pid == self.pid else f"shard-{pid}"
+            out.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": 0,
+                    "args": {"name": name},
+                }
+            )
+        return out
+
+    def chrome_trace(self) -> dict:
+        """The full trace as a Chrome ``trace_event`` JSON object."""
+        return {
+            "traceEvents": self._metadata_events() + self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped_events": self.dropped},
+        }
+
+    def write_chrome(self, path_or_file: str | TextIO) -> int:
+        """Write the Chrome-format trace; returns the event count."""
+        payload = self.chrome_trace()
+        if hasattr(path_or_file, "write"):
+            json.dump(payload, path_or_file)
+        else:
+            with open(path_or_file, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+        return len(self.events)
+
+    def write_jsonl(self, path_or_file: str | TextIO) -> int:
+        """Write one event per line (for jq/grep post-processing)."""
+        if hasattr(path_or_file, "write"):
+            for event in self.events:
+                path_or_file.write(json.dumps(event) + "\n")
+        else:
+            with open(path_or_file, "w", encoding="utf-8") as fh:
+                for event in self.events:
+                    fh.write(json.dumps(event) + "\n")
+        return len(self.events)
+
+    def span_names(self) -> set[str]:
+        """Distinct names of recorded complete events (test/CLI summary)."""
+        return {e["name"] for e in self.events if e.get("ph") == "X"}

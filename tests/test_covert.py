@@ -13,7 +13,6 @@ from repro.attack.covert import (
     symbol_from_blocks,
 )
 from repro.attack.setup import MonitorFactory, spaced_positions, unique_buffer_positions
-from repro.attack.timing import calibrate_threshold
 
 
 class TestEncoding:

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cache.cacheset import LINE_IO
 from repro.defense.partitioning import AdaptivePartition, PartitionConfig
 from repro.defense.randomization import (
     FullRandomizer,

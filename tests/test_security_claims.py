@@ -6,8 +6,6 @@ networking restart invalidates the spy's knowledge (§III-A), and the covert
 frames never need to be addressed to the spy's host (§IV-d).
 """
 
-import pytest
-
 from repro.analysis.lfsr import lfsr_symbols
 from repro.attack.covert import CovertReceiver, CovertTrojan, run_covert_channel
 from repro.attack.setup import MonitorFactory, unique_buffer_positions
