@@ -1,0 +1,13 @@
+"""Shard functions for the chaos smoke — module-level so worker processes
+can unpickle them (see scripts/chaos_smoke.py)."""
+
+from __future__ import annotations
+
+import os
+
+
+def crash_middle_shard(config, params, shard):
+    """Dies hard on shard 1 (no exception, no result); reports seeds else."""
+    if shard.index == 1:
+        os._exit(29)
+    return shard.seed

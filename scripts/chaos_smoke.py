@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""CI chaos smoke: the repo must degrade gracefully, not crash.
+
+Three checks, matching ROBUSTNESS.md's failure-semantics contract:
+
+1. **Faulty end-to-end run.**  ``python -m repro fig7`` under the
+   ``light`` fault profile must exit 0 with zero tracebacks, and its
+   ``--metrics`` snapshot must show nonzero ``faults.*`` counters (the
+   injection demonstrably happened).  fig7 drives real traffic through
+   the NIC, so every fault domain gets a chance to fire.
+2. **Determinism under faults.**  The sharded ``ablation-noise``
+   experiment at ``--jobs 1`` and ``--jobs 2`` must print identical
+   result rows despite nonzero fault intensity in most shards.
+3. **Partial completion.**  An in-process run with one deliberately
+   crashed shard and ``max_failed_shards=1`` must complete with partial
+   results and exactly one per-shard failure annotation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 compat
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_cli(args: list[str]) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if "Traceback" in proc.stdout or "Traceback" in proc.stderr:
+        fail(f"traceback in output of `repro {' '.join(args)}`:\n{proc.stderr}")
+    return proc
+
+
+def result_rows(stdout: str) -> list[str]:
+    """The experiment's printed rows, minus wall-clock/progress narration."""
+    return [
+        line
+        for line in stdout.splitlines()
+        if line.startswith("  ") and "wall" not in line
+        and not line.startswith("  [")
+    ]
+
+
+def check_faulty_run_with_metrics() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        metrics_path = os.path.join(tmp, "metrics.json")
+        proc = run_cli(
+            ["fig7", "--faults", "light", "--no-cache",
+             "--metrics", metrics_path]
+        )
+        if proc.returncode != 0:
+            fail(f"faulty fig7 exited {proc.returncode}:\n{proc.stderr}")
+        with open(metrics_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    counters = payload["metrics"]["counters"]
+    fault_counters = {k: v for k, v in counters.items() if k.startswith("faults.")}
+    if not fault_counters or not any(fault_counters.values()):
+        fail(f"no nonzero faults.* counters in metrics: {sorted(counters)}")
+    if not payload["runner"]:
+        fail("metrics snapshot carries no runner entries")
+    print(f"ok: faulty run clean, fault counters {fault_counters}")
+
+
+def check_jobs_independence() -> None:
+    outputs = []
+    for jobs in ("1", "2"):
+        proc = run_cli(
+            ["ablation-noise", "--jobs", jobs, "--no-cache", "--seed", "7"]
+        )
+        if proc.returncode != 0:
+            fail(f"ablation-noise --jobs {jobs} exited {proc.returncode}")
+        outputs.append(result_rows(proc.stdout))
+    if outputs[0] != outputs[1]:
+        fail(
+            "faulty runs differ across --jobs:\n"
+            + "\n".join(outputs[0]) + "\n--- vs ---\n" + "\n".join(outputs[1])
+        )
+    print(f"ok: {len(outputs[0])} result rows identical for --jobs 1 and 2")
+
+
+def check_partial_completion() -> None:
+    sys.path.insert(0, "src")
+    from repro.core.config import MachineConfig
+    from repro.runner import ExperimentRunner, TrialSpec
+
+    import chaos_shards  # the crashing shard fn must be importable in workers
+
+    runner = ExperimentRunner(jobs=2, max_retries=0, max_failed_shards=1)
+    spec = TrialSpec("chaos-smoke", n_trials=3, trials_per_shard=1)
+    result = runner.run(
+        spec, MachineConfig().scaled_down(), chaos_shards.crash_middle_shard, sorted
+    )
+    metrics = runner.history[-1]
+    if len(result) != 2:
+        fail(f"expected 2 surviving shard results, got {result}")
+    if len(metrics.failed_shards) != 1 or metrics.failed_shards[0]["kind"] != "crash":
+        fail(f"expected one crash annotation, got {metrics.failed_shards}")
+    if not metrics.partial:
+        fail("metrics.partial should be True after a tolerated failure")
+    print(f"ok: partial completion with annotation {metrics.failed_shards[0]}")
+
+
+def main() -> int:
+    os.chdir(os.path.join(os.path.dirname(__file__), ".."))
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    check_faulty_run_with_metrics()
+    check_jobs_independence()
+    check_partial_completion()
+    print("chaos smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

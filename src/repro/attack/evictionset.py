@@ -27,6 +27,7 @@ as recorded in EXPERIMENTS.md.
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass, field
 
 from repro.attack.timing import LatencyThreshold
 
@@ -126,8 +127,43 @@ class EvictionSet:
         return max(0, round((total - baseline) / (miss_latency - hit_latency)))
 
 
+@dataclass
+class ClusterReport:
+    """Outcome of clustering one set index, with degradation accounting.
+
+    Under injected noise, group-testing reductions can fail spuriously;
+    rather than silently returning fewer groups, the builder reports how
+    many of the expected per-slice groups it found (``confidence``) and how
+    many reduction retries the noise cost, so consumers can decide whether
+    a partial monitor list is good enough to attack with.
+    """
+
+    set_index: int
+    groups: list["EvictionSet"] = field(default_factory=list)
+    expected: int = 0
+    retries: int = 0
+    failed_reductions: int = 0
+
+    @property
+    def confidence(self) -> float:
+        """Fraction of expected conflict groups actually resolved."""
+        if self.expected <= 0:
+            return 1.0
+        return min(1.0, len(self.groups) / self.expected)
+
+
 class EvictionSetBuilder:
-    """Timing-only construction of eviction sets from huge-page memory."""
+    """Timing-only construction of eviction sets from huge-page memory.
+
+    ``reduce_attempts`` bounds retry-with-backoff around failed group-test
+    reductions.  ``None`` (the default) resolves to 1 on a quiet machine —
+    the historical single-shot behaviour, bit-identical to older builds —
+    and to 3 when the machine carries an active fault plan, where spurious
+    reduction failures are expected and worth retrying.
+    """
+
+    #: Base idle-cycles backoff before a reduction retry (doubles per retry).
+    RETRY_BACKOFF_CYCLES = 50_000
 
     def __init__(
         self,
@@ -135,6 +171,7 @@ class EvictionSetBuilder:
         threshold: LatencyThreshold,
         huge_pages: int = 16,
         ways: int | None = None,
+        reduce_attempts: int | None = None,
     ) -> None:
         self.process = process
         machine = process.machine
@@ -146,6 +183,11 @@ class EvictionSetBuilder:
         self.base = process.mmap_huge(huge_pages)
         self._line = self.geometry.line_size
         self._index_span = self.geometry.sets_per_slice * self._line
+        if reduce_attempts is None:
+            reduce_attempts = 3 if getattr(machine, "faults", None) is not None else 1
+        if reduce_attempts < 1:
+            raise ValueError(f"reduce_attempts must be >= 1, got {reduce_attempts}")
+        self.reduce_attempts = reduce_attempts
 
     # ------------------------------------------------------------------
     # Candidates
@@ -208,6 +250,26 @@ class EvictionSetBuilder:
                     return None
         return working if self.evicts(working, victim) else None
 
+    def reduce_with_retry(
+        self, pool: list[int], victim: int
+    ) -> tuple[list[int] | None, int]:
+        """:meth:`reduce` with bounded retry-with-backoff.
+
+        A reduction that fails under noise (a jittered measurement
+        misclassifying one eviction test) often succeeds on a quieter
+        retry; each retry first idles exponentially longer to let
+        in-flight interference drain.  Returns ``(core, retries_used)``.
+        """
+        retries = 0
+        for attempt in range(self.reduce_attempts):
+            if attempt:
+                self.process.compute(self.RETRY_BACKOFF_CYCLES << (attempt - 1))
+                retries += 1
+            core = self.reduce(list(pool), victim)
+            if core is not None:
+                return core, retries
+        return None, retries
+
     def conflicts(self, es: EvictionSet, addr: int) -> bool:
         """Does ``addr`` map to the same cache set as ``es``?"""
         es.prime()
@@ -226,13 +288,28 @@ class EvictionSetBuilder:
         Group order is arbitrary — the attacker cannot name slices, only
         distinguish them.
         """
+        return self.cluster_index_report(set_index, n_groups).groups
+
+    def cluster_index_report(
+        self, set_index: int, n_groups: int | None = None
+    ) -> ClusterReport:
+        """:meth:`cluster_index` with partial-result accounting.
+
+        The returned report carries whatever groups were resolved plus a
+        confidence score (groups found / groups expected) and retry
+        counts, so a noisy run degrades to a smaller monitor list instead
+        of an exception.
+        """
         n_groups = n_groups or self.geometry.n_slices
+        report = ClusterReport(set_index=set_index, expected=n_groups)
         remaining = self.candidates(set_index)
-        groups: list[EvictionSet] = []
+        groups = report.groups
         while remaining and len(groups) < n_groups:
             victim = remaining.pop(0)
-            core = self.reduce(remaining, victim)
+            core, retries = self.reduce_with_retry(remaining, victim)
+            report.retries += retries
             if core is None:
+                report.failed_reductions += 1
                 continue
             es = EvictionSet(
                 self.process,
@@ -250,7 +327,7 @@ class EvictionSetBuilder:
                     keep.append(addr)
             remaining = keep
             groups.append(es)
-        return groups
+        return report
 
     def build_page_aligned_groups(
         self, block: int = 0, page_size: int = 4096

@@ -148,9 +148,18 @@ class Sequencer:
         return sequence
 
     def recover(self) -> tuple[list[int], SampleTrace]:
-        """Full pipeline: samples -> graph -> sequence of group indices."""
+        """Full pipeline: samples -> graph -> sequence of group indices.
+
+        A trace with no usable transitions (all packets lost, monitors all
+        dark) yields an *empty sequence*, not an exception: the channel is
+        lossy by nature and a caller holding partial results must be able
+        to continue (``make_sequence`` still raises when invoked directly
+        on an empty graph — only the pipeline degrades).
+        """
         trace = self.get_clean_samples()
         graph = self.build_graph(trace)
+        if not graph:
+            return [], trace
         return self.make_sequence(graph), trace
 
 
@@ -207,6 +216,11 @@ def recover_full_ring(
     for cand_idx in range(window_size, len(groups)):
         known = list(dict.fromkeys(master))[: window_size - 1]
         window_groups = [groups[i] for i in known] + [groups[cand_idx]]
+        if len(window_groups) < 3:
+            # Too few placed sets to form a window (a lossy run recovered
+            # almost nothing): append unplaced rather than abort the ring.
+            master = master + [cand_idx]
+            continue
         sub = Sequencer(process, window_groups, config, replacement_provider)
         window_seq, _ = sub.recover()
         # Translate window-local indices back to master indices.

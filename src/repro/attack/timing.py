@@ -27,37 +27,50 @@ class LatencyThreshold:
         return latency > self.threshold
 
 
-def calibrate_threshold(process, samples: int = 64) -> LatencyThreshold:
+def calibrate_threshold(
+    process, samples: int = 64, max_attempts: int = 3
+) -> LatencyThreshold:
     """Measure hit and miss latency distributions and pick a threshold.
 
     ``process`` is a :class:`repro.core.machine.Process`.  The calibration
     maps one scratch page, then alternates hit measurements (re-access) and
     miss measurements (flush + access).
+
+    Under measurement jitter (an active fault plan) a single pass can fail
+    to separate the distributions; the calibration then retries with a
+    doubled sample count, up to ``max_attempts`` passes, before giving up.
+    On a quiet machine the first pass always succeeds, so the retry path
+    adds no accesses there.
     """
     if samples < 4:
         raise ValueError(f"need at least 4 samples, got {samples}")
+    if max_attempts < 1:
+        raise ValueError(f"need at least 1 attempt, got {max_attempts}")
     scratch = process.mmap(1)
     line = process.machine.llc.geometry.line_size
     lines_per_page = process.machine.physmem.page_size // line
 
-    hits: list[int] = []
-    misses: list[int] = []
-    for i in range(samples):
-        vaddr = scratch + (i % lines_per_page) * line
-        process.access(vaddr)  # ensure resident
-        hits.append(process.timed_access(vaddr))
-        process.flush(vaddr)
-        misses.append(process.timed_access(vaddr))
+    hit_mean = miss_mean = 0.0
+    for attempt in range(max_attempts):
+        hits: list[int] = []
+        misses: list[int] = []
+        for i in range(samples):
+            vaddr = scratch + (i % lines_per_page) * line
+            process.access(vaddr)  # ensure resident
+            hits.append(process.timed_access(vaddr))
+            process.flush(vaddr)
+            misses.append(process.timed_access(vaddr))
 
-    hit_mean = mean(hits)
-    miss_mean = mean(misses)
-    if miss_mean <= hit_mean:
-        raise RuntimeError(
-            "calibration failed: miss latency not above hit latency "
-            f"(hit={hit_mean:.1f}, miss={miss_mean:.1f})"
-        )
-    return LatencyThreshold(
-        hit_mean=hit_mean,
-        miss_mean=miss_mean,
-        threshold=(hit_mean + miss_mean) / 2.0,
+        hit_mean = mean(hits)
+        miss_mean = mean(misses)
+        if miss_mean > hit_mean:
+            return LatencyThreshold(
+                hit_mean=hit_mean,
+                miss_mean=miss_mean,
+                threshold=(hit_mean + miss_mean) / 2.0,
+            )
+        samples *= 2  # backoff: average the noise down before retrying
+    raise RuntimeError(
+        f"calibration failed after {max_attempts} attempt(s): miss latency "
+        f"not above hit latency (hit={hit_mean:.1f}, miss={miss_mean:.1f})"
     )

@@ -43,10 +43,28 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable
 
 from repro.core.config import MachineConfig
-from repro.runner import ConsoleProgress, ExperimentRunner, ResultCache
+from repro.faults import FAULT_PROFILES, get_profile
+from repro.runner import (
+    ConsoleProgress,
+    ExperimentRunner,
+    ResultCache,
+    ShardCrashError,
+    ShardFailedError,
+    ShardTimeoutError,
+)
 from repro.runner.cache import DEFAULT_CACHE_DIR
 from repro.telemetry import Telemetry, session
 from repro import experiments as exp
+
+# Exit codes (see ROBUSTNESS.md): distinct failure modes get distinct
+# codes so CI and scripts can branch on *why* a run failed.
+EXIT_OK = 0
+EXIT_FAILURE = 1  # generic/mixed failure ('all' with heterogeneous causes)
+EXIT_USAGE = 2
+EXIT_TIMEOUT = 3  # a shard exceeded --shard-timeout on every attempt
+EXIT_CRASH = 4  # a worker died repeatedly (segfault/OOM-kill)
+EXIT_BAD_RESULT = 5  # a shard raised / produced an unusable result
+EXIT_PARTIAL = 6  # completed with <= --max-failed-shards failed shards
 
 
 @dataclass(frozen=True)
@@ -204,6 +222,12 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         run=lambda cfg, runner: exp.run_probe_rate_ablation(cfg, runner=runner),
         sharded=True,
     ),
+    "ablation-noise": ExperimentDef(
+        "fault-injection intensity vs covert bit recovery",
+        params={},
+        run=lambda cfg, runner: exp.run_noise_ablation(cfg, runner=runner),
+        sharded=True,
+    ),
 }
 
 
@@ -217,6 +241,10 @@ class ExperimentOutcome:
     error: str = ""
     cached: bool = False
     phases: str = ""
+    #: EXIT_* code this outcome maps to (EXIT_OK / EXIT_PARTIAL when ok).
+    exit_code: int = EXIT_OK
+    #: One-line cause for the summary table (empty on clean success).
+    cause: str = ""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -226,13 +254,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'list', 'all', or 'trace' (traced run of TARGET)",
+        help="experiment name, 'list', 'all', 'trace' (traced run of TARGET), "
+        "or 'faults' (with 'list': show fault profiles)",
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
-        help="experiment to trace (only with the 'trace' command)",
+        help="experiment to trace (with 'trace') or subcommand (with 'faults')",
     )
     parser.add_argument(
         "--paper-scale",
@@ -272,6 +301,43 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"result cache location (default {DEFAULT_CACHE_DIR!r})",
     )
     parser.add_argument(
+        "--faults",
+        default="off",
+        metavar="PROFILE",
+        help="fault-injection profile (see 'repro faults list'; default 'off' "
+        "— outputs are then bit-identical to a build without fault hooks)",
+    )
+    parser.add_argument(
+        "--max-failed-shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="tolerate up to N terminally failed shards per experiment: the "
+        "run completes with partial results and exit code 6 (default 0: "
+        "any failure aborts)",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort on the first terminal shard failure even when "
+        "--max-failed-shards would tolerate it",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="persist per-shard results as they complete and resume an "
+        "interrupted run from them (needs the cache; ignored with "
+        "--no-cache or under --trace/--metrics)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="kill and retry a shard that runs longer than SEC seconds "
+        "(parallel runs only; default: no timeout)",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -291,6 +357,8 @@ def build_parser() -> argparse.ArgumentParser:
 def build_runner(args: argparse.Namespace) -> ExperimentRunner:
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
+    if args.max_failed_shards < 0:
+        raise SystemExit("--max-failed-shards must be >= 0")
     return ExperimentRunner(
         jobs=args.jobs,
         root_seed=args.seed,
@@ -298,7 +366,24 @@ def build_runner(args: argparse.Namespace) -> ExperimentRunner:
         use_cache=not args.no_cache,
         force=args.force,
         progress=ConsoleProgress(),
+        shard_timeout=args.shard_timeout,
+        max_failed_shards=args.max_failed_shards,
+        fail_fast=args.fail_fast,
+        checkpoint=args.checkpoint,
     )
+
+
+def print_fault_profiles() -> None:
+    """The ``repro faults list`` table: every registered profile's knobs."""
+    width = max(len(name) for name in FAULT_PROFILES)
+    print(f"  {'profile':{width}s}  drop   dup    reord  jitter ovflw  stall  corun(Hz) probe-jit")
+    for name, profile in FAULT_PROFILES.items():
+        print(
+            f"  {name:{width}s}  {profile.drop_prob:<6.3f} {profile.dup_prob:<6.3f} "
+            f"{profile.reorder_prob:<6.3f} {profile.gap_jitter:<6.2f} "
+            f"{profile.nic_overflow_prob:<6.3f} {profile.refill_stall_prob:<6.3f} "
+            f"{profile.corunner_rate_hz:<9.0f} {profile.probe_jitter_cycles}"
+        )
 
 
 def run_one(
@@ -307,6 +392,7 @@ def run_one(
     definition = EXPERIMENTS[name]
     print(f"== {name}: {definition.description}")
     start = time.time()
+    history_start = len(runner.history)
     try:
         if definition.sharded:
             result = definition.run(config, runner)
@@ -314,21 +400,39 @@ def run_one(
             result = runner.run_cached(
                 name, config, definition.params, lambda: definition.run(config, runner)
             )
-    except Exception:
+    except Exception as error:
         wall = time.time() - start
         print(f"   FAILED after {wall:.1f}s:", file=sys.stderr)
         traceback.print_exc()
+        if isinstance(error, ShardTimeoutError):
+            exit_code, kind = EXIT_TIMEOUT, "timeout"
+        elif isinstance(error, ShardCrashError):
+            exit_code, kind = EXIT_CRASH, "crash"
+        elif isinstance(error, ShardFailedError):
+            exit_code, kind = EXIT_BAD_RESULT, "bad-result"
+        else:
+            exit_code, kind = EXIT_FAILURE, "failed"
+        cause = str(error).strip().splitlines()
         return ExperimentOutcome(
             name=name,
             ok=False,
             wall_seconds=wall,
             error=traceback.format_exc(limit=1).strip().splitlines()[-1],
+            exit_code=exit_code,
+            cause=f"{kind}: {cause[0] if cause else type(error).__name__}",
         )
     wall = time.time() - start
     for row in result.format_rows():
         print(row)
     print(f"   ({wall:.1f}s wall)\n")
     outcome = ExperimentOutcome(name=name, ok=True, wall_seconds=wall)
+    run_history = runner.history[history_start:]
+    failed = [f for m in run_history for f in m.failed_shards]
+    if failed:
+        outcome.exit_code = EXIT_PARTIAL
+        outcome.cause = "partial: " + ", ".join(
+            f"shard {f['index']} {f['kind']}" for f in failed
+        )
     history = [m for m in runner.history if m.experiment == name]
     if history:
         outcome.cached = all(m.cache_hit for m in history)
@@ -345,13 +449,22 @@ def run_one(
 def print_summary(outcomes: list[ExperimentOutcome]) -> None:
     width = max(len(outcome.name) for outcome in outcomes)
     print("== summary ==")
-    print(f"  {'experiment':{width}s}  {'status':6s}  {'wall':>7s}  {'cache':5s}  phases")
+    print(
+        f"  {'experiment':{width}s}  {'status':7s}  {'wall':>7s}  {'cache':5s}"
+        "  phases / cause"
+    )
     for outcome in outcomes:
-        status = "ok" if outcome.ok else "FAILED"
+        if not outcome.ok:
+            status = "FAILED"
+        elif outcome.exit_code == EXIT_PARTIAL:
+            status = "PARTIAL"
+        else:
+            status = "ok"
         cache = "hit" if outcome.cached else "-"
+        detail = outcome.cause if outcome.cause else outcome.phases
         print(
-            f"  {outcome.name:{width}s}  {status:6s}  {outcome.wall_seconds:6.1f}s"
-            f"  {cache:5s}  {outcome.phases}"
+            f"  {outcome.name:{width}s}  {status:7s}  {outcome.wall_seconds:6.1f}s"
+            f"  {cache:5s}  {detail}"
             + (f"  {outcome.error}" if outcome.error else "")
         )
     failed = sum(1 for outcome in outcomes if not outcome.ok)
@@ -360,6 +473,22 @@ def print_summary(outcomes: list[ExperimentOutcome]) -> None:
         f"  {len(outcomes) - failed}/{len(outcomes)} experiments ok, "
         f"{total_wall:.1f}s total"
     )
+
+
+def aggregate_exit_code(outcomes: list[ExperimentOutcome]) -> int:
+    """Fold per-experiment exit codes into one process exit code.
+
+    A single distinct failure cause keeps its specific code; mixed causes
+    collapse to the generic :data:`EXIT_FAILURE`.  Partial completions
+    surface as :data:`EXIT_PARTIAL` only when nothing failed outright.
+    """
+    failures = {o.exit_code for o in outcomes if not o.ok}
+    if failures:
+        return failures.pop() if len(failures) == 1 else EXIT_FAILURE
+    partials = {o.exit_code for o in outcomes if o.exit_code != EXIT_OK}
+    if partials:
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def _write_telemetry(
@@ -388,9 +517,12 @@ def _write_telemetry(
                     "cache_hit": m.cache_hit,
                     "jobs": m.jobs,
                     "worker_utilization": m.worker_utilization,
+                    "shards_resumed": m.shards_resumed,
+                    "failed_shards": m.failed_shards,
                 }
                 for m in runner.history
             ],
+            "cache": runner.cache.stats.to_dict(),
         }
         with open(args.metrics, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
@@ -406,13 +538,19 @@ def main(argv: list[str] | None = None) -> int:
         args.target = None
         if args.trace is None:
             args.trace = f"{args.experiment}.trace.json"
+    if args.experiment == "faults":
+        if args.target != "list":
+            print("usage: repro faults list", file=sys.stderr)
+            return EXIT_USAGE
+        print_fault_profiles()
+        return EXIT_OK
     if args.target is not None:
         raise SystemExit(f"unexpected extra argument {args.target!r}")
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name, definition in EXPERIMENTS.items():
             print(f"  {name:{width}s}  {definition.description}")
-        return 0
+        return EXIT_OK
     config = (
         MachineConfig().bench_scale()
         if args.paper_scale
@@ -422,6 +560,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.seed < 0:
             raise SystemExit("--seed must be non-negative")
         config = replace(config, seed=args.seed)
+    if args.faults != "off":
+        try:
+            config = replace(config, faults=get_profile(args.faults))
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
     telemetry = None
     if args.trace or args.metrics:
         telemetry = Telemetry.create(
@@ -436,12 +579,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.experiment == "all":
             outcomes = [run_one(name, config, runner) for name in EXPERIMENTS]
             print_summary(outcomes)
-            return 0 if all(outcome.ok for outcome in outcomes) else 1
+            return aggregate_exit_code(outcomes)
         if args.experiment not in EXPERIMENTS:
             print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         outcome = run_one(args.experiment, config, runner)
-        return 0 if outcome.ok else 1
+        if outcome.cause:
+            print_summary([outcome])
+        return outcome.exit_code
 
     if telemetry is None:
         return execute()

@@ -183,6 +183,101 @@ class TimingParams:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic fault-injection knobs (see :mod:`repro.faults`).
+
+    All-zero (the default) means *no* fault machinery is constructed at all:
+    the machine executes the exact pre-faults instruction stream.  Non-zero
+    knobs drive seeded injectors — every draw comes from RNGs derived from
+    the machine seed via the same SeedSequence discipline as the runner, so
+    a given (seed, profile) produces bit-identical faults at any ``--jobs``.
+
+    The named presets (``off``/``light``/``moderate``/``heavy``) live in
+    :mod:`repro.faults.profiles`; ``profile`` records which one this config
+    came from (informational, but part of the cache key on purpose).
+    """
+
+    #: Name of the preset this config was derived from ("custom" if none).
+    profile: str = "off"
+    #: Probability an in-flight frame is silently lost before the NIC.
+    drop_prob: float = 0.0
+    #: Probability a frame is delivered twice (link-level duplication).
+    dup_prob: float = 0.0
+    #: Probability two adjacent frames swap arrival order.
+    reorder_prob: float = 0.0
+    #: Multiplicative jitter on inter-frame gaps: each gap is scaled by a
+    #: uniform draw from [1 - gap_jitter, 1 + gap_jitter] (bursts + lulls).
+    gap_jitter: float = 0.0
+    #: Probability the rx ring overflows and drops an arriving frame.
+    nic_overflow_prob: float = 0.0
+    #: Probability the descriptor refill stalls, delaying driver rx.
+    refill_stall_prob: float = 0.0
+    #: Length of one refill stall, in cycles.
+    refill_stall_cycles: int = 20_000
+    #: Wakeup rate of the noisy co-runner issuing competing LLC accesses
+    #: (occupancy noise against PRIME+PROBE); 0 disables it.
+    corunner_rate_hz: float = 0.0
+    #: LLC accesses the co-runner issues per wakeup.
+    corunner_accesses: int = 8
+    #: Maximum extra cycles of measurement jitter per timed access.
+    probe_jitter_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "dup_prob", "reorder_prob",
+                     "nic_overflow_prob", "refill_stall_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if not 0.0 <= self.gap_jitter <= 1.0:
+            raise ValueError(f"gap_jitter must be in [0, 1], got {self.gap_jitter}")
+        for name in ("refill_stall_cycles", "corunner_accesses",
+                     "probe_jitter_cycles"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.corunner_rate_hz < 0:
+            raise ValueError(
+                f"corunner_rate_hz must be >= 0, got {self.corunner_rate_hz}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether any injector would ever fire."""
+        return bool(
+            self.drop_prob
+            or self.dup_prob
+            or self.reorder_prob
+            or self.gap_jitter
+            or self.nic_overflow_prob
+            or self.refill_stall_prob
+            or self.corunner_rate_hz
+            or self.probe_jitter_cycles
+        )
+
+    def scaled(self, factor: float) -> "FaultConfig":
+        """Scale every intensity knob by ``factor`` (probabilities clamp at
+        1.0) — the sweep axis of the noise-ablation experiment."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+
+        def prob(p: float) -> float:
+            return min(1.0, p * factor)
+
+        return FaultConfig(
+            profile=f"{self.profile}x{factor:g}",
+            drop_prob=prob(self.drop_prob),
+            dup_prob=prob(self.dup_prob),
+            reorder_prob=prob(self.reorder_prob),
+            gap_jitter=min(1.0, self.gap_jitter * factor),
+            nic_overflow_prob=prob(self.nic_overflow_prob),
+            refill_stall_prob=prob(self.refill_stall_prob),
+            refill_stall_cycles=self.refill_stall_cycles,
+            corunner_rate_hz=self.corunner_rate_hz * factor,
+            corunner_accesses=self.corunner_accesses,
+            probe_jitter_cycles=int(round(self.probe_jitter_cycles * factor)),
+        )
+
+
+@dataclass(frozen=True)
 class ProcessorConfig:
     """Baseline processor configuration (Table II of the paper).
 
@@ -220,6 +315,8 @@ class MachineConfig:
     link: LinkConfig = field(default_factory=LinkConfig)
     timing: TimingParams = field(default_factory=TimingParams)
     processor: ProcessorConfig = field(default_factory=ProcessorConfig)
+    #: Deterministic fault injection; all-zero (= "off") by default.
+    faults: FaultConfig = field(default_factory=FaultConfig)
     #: Physical memory size; only page *frames* are modelled, not contents.
     memory_bytes: int = 1 << 32
     #: Number of NUMA nodes (the IGB reuse logic checks page_to_nid()).
@@ -247,6 +344,7 @@ class MachineConfig:
             "link": LinkConfig,
             "timing": TimingParams,
             "processor": ProcessorConfig,
+            "faults": FaultConfig,
         }
         kwargs: dict = {}
         known = {f.name for f in fields(cls)}
@@ -288,6 +386,7 @@ class MachineConfig:
             link=self.link,
             timing=self.timing,
             processor=self.processor,
+            faults=self.faults,
             memory_bytes=1 << 28,
             numa_nodes=self.numa_nodes,
             seed=self.seed,
@@ -305,6 +404,7 @@ class MachineConfig:
             link=self.link,
             timing=self.timing,
             processor=self.processor,
+            faults=self.faults,
             memory_bytes=1 << 30,
             numa_nodes=self.numa_nodes,
             seed=self.seed,

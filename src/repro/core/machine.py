@@ -64,10 +64,19 @@ class Process:
         return latency
 
     def timed_access(self, vaddr: int, write: bool = False) -> int:
-        """Access with timer overhead included — what rdtscp would report."""
-        overhead = self.machine.llc.timing.measure_overhead
+        """Access with timer overhead included — what rdtscp would report.
+
+        Under an active fault plan the measurement carries jitter: extra
+        cycles (an interrupt, SMM, a co-scheduled hyperthread) that both
+        elapse on the clock and inflate the reported latency, exactly the
+        noise a real rdtscp-based spy has to threshold through.
+        """
+        machine = self.machine
+        overhead = machine.llc.timing.measure_overhead
         latency = self.access(vaddr, write)
-        self.machine.clock.advance(overhead)
+        if machine.faults is not None:
+            overhead += machine.faults.probe_jitter()
+        machine.clock.advance(overhead)
         return latency + overhead
 
     def flush(self, vaddr: int) -> int:
@@ -120,6 +129,18 @@ class Machine:
         if self.telemetry is not None:
             self.llc.telemetry = self.telemetry
             self.events.tracer = self.telemetry.tracer
+        #: Seeded fault injection (None when cfg.faults is all-zero, in
+        #: which case no fault machinery exists and behaviour is
+        #: bit-identical to a pre-faults build).
+        self.faults = None
+        if cfg.faults.active:
+            from repro.faults import FaultPlan, NoisyCoRunner
+
+            self.faults = FaultPlan.from_config(
+                cfg.faults, cfg.seed, telemetry=self.telemetry
+            )
+            if self.faults.corunner_active:
+                NoisyCoRunner(self, self.faults).start()
 
     # ------------------------------------------------------------------
     # Assembly

@@ -28,6 +28,7 @@ from repro.experiments.ablation import (
     run_randomization_interval_ablation,
     run_ring_size_ablation,
 )
+from repro.experiments.noise_ablation import run_noise_ablation
 
 __all__ = [
     "run_fig5",
@@ -48,4 +49,5 @@ __all__ = [
     "run_randomization_interval_ablation",
     "run_ddio_ways_ablation",
     "run_probe_rate_ablation",
+    "run_noise_ablation",
 ]

@@ -36,6 +36,7 @@ def _with(base: MachineConfig, ring: RingConfig | None = None, ddio: DDIOConfig 
         link=base.link,
         timing=base.timing,
         processor=base.processor,
+        faults=base.faults,
         memory_bytes=base.memory_bytes,
         numa_nodes=base.numa_nodes,
         seed=base.seed,

@@ -1,0 +1,32 @@
+"""Deterministic fault injection across NIC / cache / attack layers.
+
+The paper evaluates Packet Chasing under adversity — background traffic,
+co-running cache noise, dropped and reordered packets, probe-timing jitter
+(Figs. 11/12, and the Levenshtein-based sequencer exists precisely because
+the channel is lossy).  This package makes those conditions reproducible:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, the per-machine seeded
+  decision stream (SeedSequence-derived per-domain RNGs; bit-identical for
+  a given seed at any ``--jobs``) plus :class:`FaultStats` counting.
+* :mod:`repro.faults.profiles` — the named ``--faults`` presets.
+* :mod:`repro.faults.injectors` — the frame-stream transform and the noisy
+  co-runner; NIC and timing faults hook straight into their sites.
+
+Everything is off by default: a machine whose :class:`~repro.core.config.
+FaultConfig` is all-zero constructs no plan and executes the exact
+pre-faults instruction stream.
+"""
+
+from repro.faults.injectors import NoisyCoRunner, faulty_frames
+from repro.faults.plan import FaultPlan, FaultStats, derive_fault_seed
+from repro.faults.profiles import FAULT_PROFILES, get_profile
+
+__all__ = [
+    "FAULT_PROFILES",
+    "FaultPlan",
+    "FaultStats",
+    "NoisyCoRunner",
+    "derive_fault_seed",
+    "faulty_frames",
+    "get_profile",
+]

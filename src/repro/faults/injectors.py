@@ -1,0 +1,109 @@
+"""Fault injectors: the pieces that plug into existing simulation layers.
+
+* :func:`faulty_frames` — wraps a traffic source's ``(gap, frame)`` stream
+  with loss, duplication, adjacent reordering and burst jitter.  Installed
+  transparently by :meth:`repro.net.traffic.TrafficSource.attach` when the
+  machine has an active fault plan.
+* :class:`NoisyCoRunner` — a cache-hostile co-runner on "another core": a
+  self-rescheduling event that issues bursts of competing LLC accesses from
+  its own address space, creating the occupancy noise the paper's
+  PRIME+PROBE spy has to survive on a loaded host.  Like the NIC driver, it
+  does not advance the global clock.
+
+NIC-side faults (rx-ring overflow, refill stalls) and probe-timing jitter
+have no class here: their hook sites (:meth:`repro.nic.nic.Nic.deliver`,
+:meth:`repro.core.machine.Process.timed_access`) query the plan directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.faults.plan import FaultPlan
+from repro.mem.addrspace import AddressSpace
+from repro.net.packet import Frame
+
+#: Pages of attacker-unrelated memory the co-runner sprays accesses over.
+CORUNNER_PAGES = 32
+
+
+def _duplicate(frame: Frame) -> Frame:
+    """A fresh frame carrying the same bytes (new frame_id, own timestamps)."""
+    return Frame(size=frame.size, protocol=frame.protocol, symbol=frame.symbol)
+
+
+def faulty_frames(
+    plan: FaultPlan, frames: Iterator[tuple[float, Frame]]
+) -> Iterator[tuple[float, Frame]]:
+    """Apply the plan's net faults to a ``(gap_seconds, frame)`` stream.
+
+    Order of operations per frame: adjacent reordering first (it consumes
+    two stream elements), then gap jitter, loss and duplication.  A dropped
+    frame's gap is carried into the next frame so the stream's pacing — and
+    therefore every later frame's arrival time — stays anchored to the
+    original schedule rather than silently compressing.
+    """
+    carry_gap = 0.0
+    for gap, frame in _reordered(plan, frames):
+        gap = plan.jitter_gap(gap) + carry_gap
+        carry_gap = 0.0
+        if plan.should_drop_frame():
+            carry_gap = gap
+            continue
+        yield gap, frame
+        if plan.should_duplicate_frame():
+            # The duplicate trails immediately; the source clamps the gap
+            # up to the wire time of the frame, as for any frame.
+            yield 0.0, _duplicate(frame)
+
+
+def _reordered(
+    plan: FaultPlan, frames: Iterator[tuple[float, Frame]]
+) -> Iterator[tuple[float, Frame]]:
+    """Swap adjacent frames with the plan's reorder probability."""
+    iterator = iter(frames)
+    for gap, frame in iterator:
+        if plan.should_reorder_frame():
+            try:
+                next_gap, next_frame = next(iterator)
+            except StopIteration:
+                yield gap, frame
+                return
+            yield gap, next_frame
+            yield next_gap, frame
+        else:
+            yield gap, frame
+
+
+class NoisyCoRunner:
+    """Competing LLC traffic from an unrelated process on another core."""
+
+    def __init__(self, machine, plan: FaultPlan) -> None:
+        self.machine = machine
+        self.plan = plan
+        self.rng = plan.corunner_rng()
+        self.burst = plan.config.corunner_accesses
+        self.interval = max(
+            1, int(machine.clock.frequency_hz / plan.config.corunner_rate_hz)
+        )
+        self.space = AddressSpace(machine.physmem, "fault-corunner")
+        self.base = self.space.mmap(CORUNNER_PAGES)
+        line = machine.llc.geometry.line_size
+        self._line = line
+        self._n_lines = CORUNNER_PAGES * machine.physmem.page_size // line
+
+    def start(self) -> None:
+        """Schedule the first wakeup; subsequent ones self-reschedule."""
+        self.machine.events.schedule(
+            self.machine.clock.now + self.interval, self._tick, label="fault-corunner"
+        )
+
+    def _tick(self) -> None:
+        machine = self.machine
+        llc = machine.llc
+        now = machine.clock.now
+        for _ in range(self.burst):
+            offset = self.rng.randrange(self._n_lines) * self._line
+            llc.cpu_access(self.space.translate(self.base + offset), now=now)
+        self.plan.note_corunner_accesses(self.burst)
+        machine.events.schedule(now + self.interval, self._tick, label="fault-corunner")

@@ -1,0 +1,66 @@
+"""Named fault profiles — the ``--faults <profile>`` presets.
+
+Intensities are calibrated against the paper's adversity axes: ``light``
+approximates a quiet-but-real host (sporadic background interference,
+Fig. 11's best case), ``moderate`` the loaded host the accuracy tables are
+reported under, and ``heavy`` the degradation tail of Figs. 11/12 where
+bit-recovery visibly drops but the channel still synchronises.  The
+``noise-ablation`` experiment sweeps scaled copies of ``moderate`` to trace
+the full curve.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FaultConfig
+
+FAULT_PROFILES: dict[str, FaultConfig] = {
+    "off": FaultConfig(profile="off"),
+    "light": FaultConfig(
+        profile="light",
+        drop_prob=0.01,
+        dup_prob=0.002,
+        reorder_prob=0.005,
+        gap_jitter=0.10,
+        nic_overflow_prob=0.005,
+        refill_stall_prob=0.002,
+        refill_stall_cycles=20_000,
+        corunner_rate_hz=2_000.0,
+        corunner_accesses=4,
+        probe_jitter_cycles=8,
+    ),
+    "moderate": FaultConfig(
+        profile="moderate",
+        drop_prob=0.03,
+        dup_prob=0.01,
+        reorder_prob=0.02,
+        gap_jitter=0.25,
+        nic_overflow_prob=0.02,
+        refill_stall_prob=0.01,
+        refill_stall_cycles=40_000,
+        corunner_rate_hz=8_000.0,
+        corunner_accesses=8,
+        probe_jitter_cycles=20,
+    ),
+    "heavy": FaultConfig(
+        profile="heavy",
+        drop_prob=0.10,
+        dup_prob=0.03,
+        reorder_prob=0.05,
+        gap_jitter=0.50,
+        nic_overflow_prob=0.05,
+        refill_stall_prob=0.03,
+        refill_stall_cycles=80_000,
+        corunner_rate_hz=25_000.0,
+        corunner_accesses=16,
+        probe_jitter_cycles=40,
+    ),
+}
+
+
+def get_profile(name: str) -> FaultConfig:
+    """Look up a named profile; raises with the available names on miss."""
+    try:
+        return FAULT_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_PROFILES))
+        raise ValueError(f"unknown fault profile {name!r}; known: {known}") from None

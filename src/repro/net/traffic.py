@@ -35,10 +35,21 @@ class TrafficSource(ABC):
         """Yield ``(gap_seconds, frame)`` pairs; gap precedes the frame."""
 
     def attach(self, machine, nic, start_at: int | None = None) -> None:
-        """Begin delivering frames via ``machine.events`` into ``nic``."""
+        """Begin delivering frames via ``machine.events`` into ``nic``.
+
+        When the machine carries an active fault plan with net faults, the
+        frame stream is transparently wrapped with seeded loss, duplication,
+        reordering and burst jitter (:mod:`repro.faults.injectors`) — every
+        source, including experiment senders, sees the same lossy link.
+        """
         self._machine = machine
         self._nic = nic
         self._iter = self._frames()
+        faults = getattr(machine, "faults", None)
+        if faults is not None and faults.net_active:
+            from repro.faults.injectors import faulty_frames
+
+            self._iter = faulty_frames(faults, self._iter)
         start = machine.clock.now if start_at is None else start_at
         self._schedule_next(start)
 

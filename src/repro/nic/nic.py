@@ -26,6 +26,10 @@ class NicStats:
     frames: int = 0
     blocks_written: int = 0
     oversize_dropped: int = 0
+    #: Frames lost to injected rx-ring overflow (fault plan only).
+    overflow_dropped: int = 0
+    #: Receives delayed by an injected descriptor-refill stall.
+    refill_stalled: int = 0
 
 
 class Nic:
@@ -44,6 +48,12 @@ class Nic:
             self.stats.oversize_dropped += 1
             return
         machine = self.machine
+        faults = machine.faults
+        if faults is not None and faults.should_overflow():
+            # Injected rx-ring overflow: no free descriptor, the adapter
+            # drops the frame on the floor — no DMA, no driver work.
+            self.stats.overflow_dropped += 1
+            return
         llc = machine.llc
         now = machine.clock.now
         ring_slot = self.ring.head
@@ -71,14 +81,22 @@ class Nic:
         self.stats.frames += 1
         self.stats.blocks_written += n_blocks
 
-        if llc.ddio.enabled:
+        # An injected descriptor-refill stall delays the driver's receive
+        # processing (softirq starvation / delayed refill), on top of the
+        # no-DDIO I/O-to-driver latency when that applies.
+        stall = faults.refill_stall() if faults is not None else 0
+        if stall:
+            self.stats.refill_stalled += 1
+        if llc.ddio.enabled and not stall:
             # Interrupt + driver processing happen effectively at arrival
             # (the driver runs on another core; its accesses are immediate).
             self.driver.receive(frame, buffer, ring_slot)
         else:
             # The driver sees the frame only after the I/O-write-to-read
             # latency; schedule the receive on the event queue.
-            delay = machine.llc.timing.io_to_driver_latency
+            delay = stall
+            if not llc.ddio.enabled:
+                delay += machine.llc.timing.io_to_driver_latency
             machine.events.schedule(
                 now + delay,
                 lambda f=frame, b=buffer, s=ring_slot: self.driver.receive(f, b, s),

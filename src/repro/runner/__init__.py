@@ -21,6 +21,7 @@ from repro.runner.cache import (
     CACHE_FORMAT_VERSION,
     DEFAULT_CACHE_DIR,
     MISS,
+    CacheStats,
     ResultCache,
     cache_key,
 )
@@ -30,6 +31,7 @@ from repro.runner.executor import (
     ShardError,
     ShardExecutor,
     ShardFailedError,
+    ShardFailure,
     ShardTimeoutError,
 )
 from repro.runner.progress import (
@@ -38,13 +40,14 @@ from repro.runner.progress import (
     RecordingProgress,
     RunnerMetrics,
 )
-from repro.runner.runner import ExperimentRunner, default_runner
+from repro.runner.runner import ExperimentRunner, default_runner, shard_entry_name
 from repro.runner.spec import Shard, ShardPlan, TrialSpec, experiment_tag
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
     "DEFAULT_CACHE_DIR",
     "MISS",
+    "CacheStats",
     "ResultCache",
     "cache_key",
     "ExecutorStats",
@@ -52,7 +55,9 @@ __all__ = [
     "ShardError",
     "ShardExecutor",
     "ShardFailedError",
+    "ShardFailure",
     "ShardTimeoutError",
+    "shard_entry_name",
     "ConsoleProgress",
     "ProgressHook",
     "RecordingProgress",

@@ -4,30 +4,39 @@ A cache entry is keyed by the stable digest (:mod:`repro.core.hashing`) of
 ``(experiment, MachineConfig, params, root_seed, format version)``: any
 change to the machine geometry, the experiment parameters, or the seed
 yields a different key, so a hit is only ever returned for a bit-identical
-rerun.  Entries store the experiment's reduced result object via pickle,
-written atomically (temp file + rename) so a killed run never leaves a
-truncated entry behind.
+rerun.  Entries store the experiment's reduced result object as a pickled
+blob guarded by a SHA-256 checksum, written atomically (temp file +
+rename) so a killed run never leaves a truncated entry behind.
 
-Corrupt or unreadable entries — truncated pickles, foreign files, stale
-formats — are treated as misses, never as errors: the cache must only ever
-make a rerun faster, not able to fail it.
+Corrupt entries — truncated pickles, bit-flipped blobs, foreign files —
+are *quarantined*: moved to ``.repro-cache/quarantine/`` for post-mortem
+inspection and reported as misses, so the caller recomputes instead of
+crashing.  Stale formats and mismatched keys are plain misses (nothing is
+wrong with the file; it just isn't the entry asked for).  The cache must
+only ever make a rerun faster, never able to fail it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
 from repro.core.hashing import stable_digest
 
 #: Bump to invalidate every existing entry on a format change.
-CACHE_FORMAT_VERSION = 1
+#: v2: result stored as a pickled blob with a SHA-256 checksum.
+CACHE_FORMAT_VERSION = 2
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Subdirectory (under the cache root) holding quarantined corrupt entries.
+QUARANTINE_DIR = "quarantine"
 
 #: Sentinel distinguishing "miss" from a cached ``None`` result.
 MISS = object()
@@ -46,11 +55,36 @@ def cache_key(experiment: str, config, params: Any, root_seed: int) -> str:
     )
 
 
+@dataclass
+class CacheStats:
+    """Load/store accounting, surfaced through ``--metrics``."""
+
+    loads: int = 0
+    hits: int = 0
+    misses: int = 0
+    quarantined: int = 0
+    stores: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "loads": self.loads,
+            "hits": self.hits,
+            "misses": self.misses,
+            "quarantined": self.quarantined,
+            "stores": self.stores,
+        }
+
+
 class ResultCache:
     """Load/store experiment results keyed by :func:`cache_key`."""
 
     def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
         self.root = Path(root)
+        self.stats = CacheStats()
+
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / QUARANTINE_DIR
 
     def path_for(self, experiment: str, key: str) -> Path:
         return self.root / f"{experiment}-{key[:16]}.pkl"
@@ -58,33 +92,68 @@ class ResultCache:
     def load(self, experiment: str, key: str) -> Any:
         """Return the cached result, or :data:`MISS`.
 
-        Anything wrong with the entry — missing, truncated, unpicklable,
-        or keyed for different content — is a miss.
+        A structurally broken entry (unreadable pickle, bad checksum) is
+        moved to the quarantine directory and counted; a missing file or a
+        well-formed entry for different content is a plain miss.
         """
+        self.stats.loads += 1
         path = self.path_for(experiment, key)
         try:
             with path.open("rb") as handle:
                 payload = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+        except FileNotFoundError:
+            return self._miss()
+        except (pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError, ValueError):
-            return MISS
+            return self._quarantine(path)
+        except OSError:
+            return self._miss()
         if not isinstance(payload, dict):
-            return MISS
+            return self._quarantine(path)
         if payload.get("version") != CACHE_FORMAT_VERSION:
-            return MISS
+            return self._miss()
         if payload.get("key") != key:
-            return MISS
-        return payload.get("result")
+            return self._miss()
+        blob = payload.get("blob")
+        if not isinstance(blob, bytes):
+            return self._quarantine(path)
+        if hashlib.sha256(blob).hexdigest() != payload.get("checksum"):
+            return self._quarantine(path)
+        try:
+            result = pickle.loads(blob)
+        except Exception:
+            return self._quarantine(path)
+        self.stats.hits += 1
+        return result
+
+    def _miss(self) -> Any:
+        self.stats.misses += 1
+        return MISS
+
+    def _quarantine(self, path: Path) -> Any:
+        """Move a corrupt entry aside (best effort) and report a miss."""
+        self.stats.quarantined += 1
+        try:
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_root / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return self._miss()
 
     def store(self, experiment: str, key: str, result: Any) -> Path:
         """Atomically persist ``result`` and return the entry path."""
         path = self.path_for(experiment, key)
         self.root.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         payload = {
             "version": CACHE_FORMAT_VERSION,
             "experiment": experiment,
             "key": key,
-            "result": result,
+            "blob": blob,
+            "checksum": hashlib.sha256(blob).hexdigest(),
         }
         fd, tmp_name = tempfile.mkstemp(
             prefix=f".{experiment}-", suffix=".tmp", dir=self.root
@@ -99,6 +168,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self.stats.stores += 1
         return path
 
     def invalidate(self, experiment: str, key: str) -> bool:

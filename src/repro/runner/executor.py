@@ -10,17 +10,30 @@ paper-scale sweep actually hits.
 Fault policy (per shard):
 
 * **Crash** (worker exits without reporting, e.g. segfault/OOM-kill): the
-  shard is re-run, up to ``max_retries`` extra attempts, before
-  :class:`ShardCrashError` fails the run.
+  shard is re-run, up to ``max_retries`` extra attempts, before the crash
+  becomes *terminal*.
 * **Timeout** (``shard_timeout`` seconds without a result): the worker is
   terminated and the shard re-run under the same retry budget; exhausted
-  retries raise :class:`ShardTimeoutError`.
-* **Exception** inside the shard function: re-raised in the parent as
-  :class:`ShardFailedError` with the worker traceback appended.  This is
-  deterministic code misbehaving, so it is *not* retried.
+  retries make the timeout terminal.
+* **Exception** inside the shard function: deterministic code misbehaving,
+  so it is *not* retried — it is terminal immediately, with the worker
+  traceback preserved.
+
+What a *terminal* failure does depends on the failure budget:
+
+* ``max_failed_shards == 0`` (default) — the matching :class:`ShardError`
+  subclass is raised and the run aborts (historical behaviour).
+* ``max_failed_shards > 0`` — up to that many shards may fail; each
+  failed shard's slot in the result list holds a :class:`ShardFailure`
+  annotation instead of a result, and the run completes *partially*.
+  One failure past the budget aborts as above.
+* ``fail_fast=True`` — the first terminal failure aborts regardless of
+  the budget (turn a long chaos run into a quick repro).
 
 Results are always returned ordered by shard index, whatever order the
-workers finished in.
+workers finished in.  A retried shard re-runs with the *same*
+:class:`~repro.runner.spec.Shard` (same derived seed), so a retry can
+never change the numbers — only recover them.
 """
 
 from __future__ import annotations
@@ -53,6 +66,39 @@ class ShardFailedError(ShardError):
     """The shard function raised; the worker traceback is in the message."""
 
 
+#: Failure kinds, in the order the CLI maps them to exit codes.
+FAILURE_KINDS = ("crash", "timeout", "error")
+
+_ERROR_KIND = {
+    ShardCrashError: "crash",
+    ShardTimeoutError: "timeout",
+    ShardFailedError: "error",
+}
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """Annotation for one shard that terminally failed under a nonzero
+    failure budget — it occupies the shard's slot in the result list."""
+
+    index: int
+    kind: str  # "crash" | "timeout" | "error"
+    message: str
+    attempts: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ValueError(f"unknown failure kind {self.kind!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+
 @dataclass
 class _Attempt:
     process: multiprocessing.process.BaseProcess
@@ -70,6 +116,9 @@ class ExecutorStats:
     retries: int = 0
     wall_seconds: float = 0.0
     crashed_shards: list[int] = field(default_factory=list)
+    #: Terminal failures tolerated under the failure budget, in the order
+    #: they became terminal.
+    failed_shards: list[ShardFailure] = field(default_factory=list)
     #: Wall-clock seconds of each completed shard, in completion order
     #: (launch-to-harvest for workers) — feeds utilization accounting.
     shard_seconds: list[float] = field(default_factory=list)
@@ -97,14 +146,22 @@ class ShardExecutor:
         jobs: int = 1,
         shard_timeout: float | None = None,
         max_retries: int = 1,
+        max_failed_shards: int = 0,
+        fail_fast: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if max_failed_shards < 0:
+            raise ValueError(
+                f"max_failed_shards must be >= 0, got {max_failed_shards}"
+            )
         self.jobs = jobs
         self.shard_timeout = shard_timeout
         self.max_retries = max_retries
+        self.max_failed_shards = max_failed_shards
+        self.fail_fast = fail_fast
         self.stats = ExecutorStats()
 
     def run(
@@ -112,32 +169,73 @@ class ShardExecutor:
         shard_fn: ShardFn,
         plan: ShardPlan,
         config,
-        on_shard_done: Callable[[Shard], None] | None = None,
+        on_shard_done: Callable[..., None] | None = None,
+        include: set[int] | None = None,
     ) -> list[Any]:
+        """Execute the plan's shards (or the ``include`` subset, for
+        checkpoint resume) and return their results in shard order.
+
+        Slots of shards that terminally failed within the failure budget
+        hold :class:`ShardFailure` annotations; callers filter them.
+        """
         start = time.monotonic()
         self.stats = ExecutorStats()
         params = dict(plan.spec.params)
+        shards = [
+            shard
+            for shard in plan.shards
+            if include is None or shard.index in include
+        ]
         if self.jobs == 1:
-            results = self._run_serial(shard_fn, plan, config, params, on_shard_done)
+            results = self._run_serial(shard_fn, shards, config, params, on_shard_done)
         else:
-            results = self._run_parallel(shard_fn, plan, config, params, on_shard_done)
+            results = self._run_parallel(
+                shard_fn, shards, config, params, on_shard_done
+            )
         self.stats.wall_seconds = time.monotonic() - start
         return results
 
+    # -- failure budget -----------------------------------------------
+    def _terminal_failure(
+        self, shard: Shard, error: ShardError, attempts: int
+    ) -> ShardFailure:
+        """Record one terminal failure; raise if the budget disallows it."""
+        failure = ShardFailure(
+            index=shard.index,
+            kind=_ERROR_KIND[type(error)],
+            message=str(error),
+            attempts=attempts,
+        )
+        self.stats.failed_shards.append(failure)
+        if self.fail_fast or len(self.stats.failed_shards) > self.max_failed_shards:
+            raise error
+        return failure
+
     # -- serial path --------------------------------------------------
-    def _run_serial(self, shard_fn, plan, config, params, on_shard_done) -> list[Any]:
+    def _run_serial(self, shard_fn, shards, config, params, on_shard_done) -> list[Any]:
         results = []
-        for shard in plan.shards:
+        for shard in shards:
             started = time.monotonic()
-            results.append(shard_fn(config, params, shard))
-            self._mark_done(shard, on_shard_done, time.monotonic() - started)
+            try:
+                result = shard_fn(config, params, shard)
+            except Exception:
+                error = ShardFailedError(
+                    f"shard {shard.index} of {shard.n_trials} trial(s) "
+                    f"raised:\n{traceback.format_exc()}"
+                )
+                results.append(self._terminal_failure(shard, error, attempts=1))
+                continue
+            results.append(result)
+            self._mark_done(
+                shard, on_shard_done, time.monotonic() - started, result
+            )
         return results
 
     # -- parallel path ------------------------------------------------
-    def _run_parallel(self, shard_fn, plan, config, params, on_shard_done) -> list[Any]:
+    def _run_parallel(self, shard_fn, shards, config, params, on_shard_done) -> list[Any]:
         context = multiprocessing.get_context()
-        queue: list[Shard] = list(plan.shards)
-        attempts: dict[int, int] = {shard.index: 0 for shard in plan.shards}
+        queue: list[Shard] = list(shards)
+        attempts: dict[int, int] = {shard.index: 0 for shard in shards}
         running: dict[int, _Attempt] = {}
         results: dict[int, Any] = {}
 
@@ -158,11 +256,18 @@ class ShardExecutor:
             )
 
         def retry_or_fail(shard: Shard, error: ShardError) -> None:
-            if attempts[shard.index] <= self.max_retries:
+            if isinstance(error, ShardFailedError):
+                # Deterministic exception: retrying replays it, don't.
+                results[shard.index] = self._terminal_failure(
+                    shard, error, attempts[shard.index]
+                )
+            elif attempts[shard.index] <= self.max_retries:
                 self.stats.retries += 1
                 queue.append(shard)
             else:
-                raise error
+                results[shard.index] = self._terminal_failure(
+                    shard, error, attempts[shard.index]
+                )
 
         try:
             while queue or running:
@@ -177,7 +282,7 @@ class ShardExecutor:
             for attempt in running.values():
                 attempt.process.join()
                 attempt.connection.close()
-        return [results[shard.index] for shard in plan.shards]
+        return [results[shard.index] for shard in shards]
 
     def _poll(self, running, results, retry_or_fail, on_shard_done) -> None:
         """One pass over in-flight workers: harvest, crash-check, time out."""
@@ -209,11 +314,16 @@ class ShardExecutor:
                 self._reap(running.pop(index))
                 if ok:
                     results[index] = payload
-                    self._mark_done(shard, on_shard_done, now - attempt.started)
+                    self._mark_done(
+                        shard, on_shard_done, now - attempt.started, payload
+                    )
                 else:
-                    raise ShardFailedError(
-                        f"shard {index} of {shard.stop - shard.start} trial(s) "
-                        f"raised in worker:\n{payload}"
+                    retry_or_fail(
+                        shard,
+                        ShardFailedError(
+                            f"shard {index} of {shard.stop - shard.start} trial(s) "
+                            f"raised in worker:\n{payload}"
+                        ),
                     )
             elif not attempt.process.is_alive():
                 self._reap(running.pop(index))
@@ -245,9 +355,11 @@ class ShardExecutor:
         attempt.process.join()
         attempt.connection.close()
 
-    def _mark_done(self, shard: Shard, on_shard_done, seconds: float = 0.0) -> None:
+    def _mark_done(
+        self, shard: Shard, on_shard_done, seconds: float = 0.0, result: Any = None
+    ) -> None:
         self.stats.shards_done += 1
         self.stats.trials_done += shard.n_trials
         self.stats.shard_seconds.append(seconds)
         if on_shard_done is not None:
-            on_shard_done(shard)
+            on_shard_done(shard, result)

@@ -31,6 +31,16 @@ class RunnerMetrics:
     phase_seconds: dict[str, float] = field(default_factory=dict)
     #: Wall-clock seconds each shard spent executing (completion order).
     shard_seconds: list[float] = field(default_factory=list)
+    #: Shards whose results were resumed from checkpoint cache entries.
+    shards_resumed: int = 0
+    #: Per-shard failure annotations (``ShardFailure.to_dict()``) for runs
+    #: that completed partially under a nonzero ``max_failed_shards``.
+    failed_shards: list[dict] = field(default_factory=list)
+
+    @property
+    def partial(self) -> bool:
+        """True when the run completed with at least one failed shard."""
+        return bool(self.failed_shards)
 
     @property
     def trials_per_second(self) -> float:
@@ -129,6 +139,13 @@ class ConsoleProgress(ProgressHook):
             f"[runner] {metrics.experiment}: done in {metrics.wall_seconds:.1f}s "
             f"({rate}{retries})"
         )
+        if metrics.shards_resumed:
+            line += f" [{metrics.shards_resumed} shard(s) resumed]"
+        if metrics.partial:
+            kinds = ", ".join(
+                f"shard {f['index']}: {f['kind']}" for f in metrics.failed_shards
+            )
+            line += f" PARTIAL ({kinds})"
         if metrics.phase_seconds:
             phases = ", ".join(
                 f"{name} {seconds:.2f}s"

@@ -12,6 +12,15 @@ Seeding contract: the root seed defaults to ``config.seed``; shard and
 trial seeds are spawned from ``(root_seed, experiment, shard_index)`` (see
 :mod:`repro.runner.spec`), so a given ``--seed`` fixes every number in the
 output regardless of ``--jobs``.
+
+Degradation contract: with ``max_failed_shards > 0``, a run whose
+terminal shard failures stay within the budget still completes — failed
+shards are dropped from the reduce, annotated in
+:attr:`RunnerMetrics.failed_shards`, and the partial result is *not*
+written to the result cache (a later rerun recomputes the gaps).  With
+``checkpoint=True`` (and a cache), every completed shard's result is
+persisted under ``experiment@s<index>`` as it finishes, and a rerun of
+the same key resumes from those entries instead of re-executing.
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ from typing import Any, Callable
 
 from repro.core.config import MachineConfig
 from repro.runner.cache import MISS, ResultCache, cache_key
-from repro.runner.executor import ShardExecutor, ShardFn
+from repro.runner.executor import ShardExecutor, ShardFailure, ShardFn
 from repro.runner.progress import ProgressHook, RunnerMetrics
 from repro.runner.spec import Shard, ShardPlan, TrialSpec
 from repro.telemetry import (
@@ -32,6 +41,11 @@ from repro.telemetry import (
 
 #: reduce_fn(ordered per-shard results) -> experiment result object
 ReduceFn = Callable[[list[Any]], Any]
+
+
+def shard_entry_name(experiment: str, shard_index: int) -> str:
+    """Cache entry name of one shard's checkpoint within an experiment."""
+    return f"{experiment}@s{shard_index}"
 
 
 class ExperimentRunner:
@@ -47,9 +61,16 @@ class ExperimentRunner:
         progress: ProgressHook | None = None,
         shard_timeout: float | None = None,
         max_retries: int = 1,
+        max_failed_shards: int = 0,
+        fail_fast: bool = False,
+        checkpoint: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if max_failed_shards < 0:
+            raise ValueError(
+                f"max_failed_shards must be >= 0, got {max_failed_shards}"
+            )
         self.jobs = jobs
         self.root_seed = root_seed
         self.cache = cache if cache is not None else ResultCache()
@@ -58,6 +79,9 @@ class ExperimentRunner:
         self.progress = progress or ProgressHook()
         self.shard_timeout = shard_timeout
         self.max_retries = max_retries
+        self.max_failed_shards = max_failed_shards
+        self.fail_fast = fail_fast
+        self.checkpoint = checkpoint
         #: Metrics of every run this runner performed, in order.
         self.history: list[RunnerMetrics] = []
 
@@ -110,21 +134,50 @@ class ExperimentRunner:
         )
         with timer.phase("plan"):
             plan = ShardPlan.build(spec, root_seed)
+        telemetrized = telemetry is not None and telemetry.active
+        # Traced runs must re-execute to collect events, so checkpoints
+        # neither load nor store while telemetry is active.
+        checkpointing = (
+            self.checkpoint and self.use_cache and not self.force and not telemetrized
+        )
+
+        resumed: dict[int, Any] = {}
+        if checkpointing:
+            for shard in plan.shards:
+                entry = self.cache.load(
+                    shard_entry_name(spec.experiment, shard.index), key
+                )
+                if entry is not MISS:
+                    resumed[shard.index] = entry
+        include: set[int] | None = None
+        if resumed:
+            include = {
+                shard.index
+                for shard in plan.shards
+                if shard.index not in resumed
+            }
+        metrics.shards_resumed = len(resumed)
+
         executor = ShardExecutor(
             jobs=self.jobs,
             shard_timeout=self.shard_timeout,
             max_retries=self.max_retries,
+            max_failed_shards=self.max_failed_shards,
+            fail_fast=self.fail_fast,
         )
         self.progress.on_start(metrics)
 
-        def on_shard_done(shard: Shard) -> None:
-            metrics.shards_done = executor.stats.shards_done
+        def on_shard_done(shard: Shard, result: Any) -> None:
+            metrics.shards_done = len(resumed) + executor.stats.shards_done
             metrics.trials_done = executor.stats.trials_done
             metrics.retries = executor.stats.retries
+            if checkpointing:
+                self.cache.store(
+                    shard_entry_name(spec.experiment, shard.index), key, result
+                )
             self.progress.on_shard_done(metrics)
 
         run_fn: ShardFn = shard_fn
-        telemetrized = telemetry is not None and telemetry.active
         if telemetrized:
             run_fn = TelemetrizedShardFn(
                 shard_fn,
@@ -133,16 +186,45 @@ class ExperimentRunner:
                 max_events=telemetry.tracer.max_events,
             )
         with timer.phase("execute"):
-            shard_results = executor.run(run_fn, plan, config, on_shard_done)
+            executed = executor.run(
+                run_fn, plan, config, on_shard_done, include=include
+            )
+        by_index = dict(resumed)
+        executed_shards = [
+            shard
+            for shard in plan.shards
+            if include is None or shard.index in include
+        ]
+        for shard, result in zip(executed_shards, executed):
+            by_index[shard.index] = result
+        ordered = [by_index[shard.index] for shard in plan.shards]
+        failures = [r for r in ordered if isinstance(r, ShardFailure)]
+        shard_results = [r for r in ordered if not isinstance(r, ShardFailure)]
         if telemetrized:
             shard_results = merge_shard_payloads(shard_results)
         with timer.phase("reduce"):
             result = reduce_fn(shard_results)
+        metrics.shards_done = len(plan.shards) - len(failures)
+        metrics.trials_done = sum(
+            shard.n_trials
+            for shard, outcome in zip(plan.shards, ordered)
+            if not isinstance(outcome, ShardFailure)
+        )
         metrics.retries = executor.stats.retries
         metrics.wall_seconds = executor.stats.wall_seconds
         metrics.phase_seconds = dict(timer.seconds)
         metrics.shard_seconds = list(executor.stats.shard_seconds)
-        self._store(spec.experiment, key, result)
+        metrics.failed_shards = [failure.to_dict() for failure in failures]
+        if not failures:
+            # Partial results never enter the whole-run cache: a rerun must
+            # recompute the gaps.  Checkpoints of the completed shards make
+            # that rerun cheap.
+            self._store(spec.experiment, key, result)
+            if checkpointing:
+                for shard in plan.shards:
+                    self.cache.invalidate(
+                        shard_entry_name(spec.experiment, shard.index), key
+                    )
         self.progress.on_finish(metrics)
         self.history.append(metrics)
         return result

@@ -1,0 +1,333 @@
+"""Unit tests for the deterministic fault-injection layer.
+
+Covers the config/profile surface, seed derivation and domain isolation,
+the frame-stream injectors, the machine-level hook sites (NIC overflow,
+refill stall, probe jitter, co-runner), graceful degradation in the attack
+primitives, and the two determinism guarantees: an inactive profile adds
+nothing, and an active profile is bit-identical across job counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import FaultConfig, MachineConfig
+from repro.core.machine import Machine
+from repro.faults import (
+    FAULT_PROFILES,
+    FaultPlan,
+    derive_fault_seed,
+    faulty_frames,
+    get_profile,
+)
+from repro.net.packet import Frame
+from repro.net.traffic import ConstantStream
+
+
+def _machine(profile: str = "off", seed: int | None = None) -> Machine:
+    cfg = MachineConfig().scaled_down()
+    if profile != "off":
+        cfg = replace(cfg, faults=get_profile(profile))
+    if seed is not None:
+        cfg = replace(cfg, seed=seed)
+    return Machine(cfg)
+
+
+# ---------------------------------------------------------------------------
+# config + profiles
+# ---------------------------------------------------------------------------
+
+class TestFaultConfig:
+    def test_default_is_inactive(self):
+        assert not FaultConfig().active
+        assert MachineConfig().faults == FaultConfig()
+
+    def test_any_nonzero_knob_activates(self):
+        assert FaultConfig(drop_prob=0.1).active
+        assert FaultConfig(corunner_rate_hz=100.0).active
+        assert FaultConfig(probe_jitter_cycles=5).active
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(drop_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(nic_overflow_prob=-0.1)
+        with pytest.raises(ValueError):
+            FaultConfig(refill_stall_cycles=-1)
+
+    def test_scaled_zero_is_inactive(self):
+        assert not get_profile("moderate").scaled(0.0).active
+
+    def test_scaled_clamps_probabilities(self):
+        heavy = get_profile("heavy").scaled(100.0)
+        assert heavy.drop_prob <= 1.0
+        assert heavy.nic_overflow_prob <= 1.0
+
+    def test_round_trips_through_machine_config_dict(self):
+        cfg = replace(MachineConfig(), faults=get_profile("light"))
+        assert MachineConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_scaled_down_preserves_faults(self):
+        cfg = replace(MachineConfig(), faults=get_profile("light"))
+        assert cfg.scaled_down().faults == get_profile("light")
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert set(FAULT_PROFILES) == {"off", "light", "moderate", "heavy"}
+        assert not get_profile("off").active
+        for name in ("light", "moderate", "heavy"):
+            assert get_profile(name).active
+
+    def test_unknown_profile_raises_with_names(self):
+        with pytest.raises(ValueError, match="moderate"):
+            get_profile("chaos-monkey")
+
+    def test_intensity_is_monotone(self):
+        light, moderate, heavy = (
+            get_profile(n) for n in ("light", "moderate", "heavy")
+        )
+        assert light.drop_prob < moderate.drop_prob < heavy.drop_prob
+        assert light.corunner_rate_hz < moderate.corunner_rate_hz
+
+
+# ---------------------------------------------------------------------------
+# plan: seeding, domain isolation, counting
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_from_config_returns_none_when_inactive(self):
+        assert FaultPlan.from_config(FaultConfig(), 7) is None
+
+    def test_constructor_refuses_inactive_config(self):
+        with pytest.raises(ValueError):
+            FaultPlan(FaultConfig(), 7)
+
+    def test_seed_derivation_stable_and_domain_separated(self):
+        assert derive_fault_seed(42, "net") == derive_fault_seed(42, "net")
+        assert derive_fault_seed(42, "net") != derive_fault_seed(42, "nic")
+        assert derive_fault_seed(42, "net") != derive_fault_seed(43, "net")
+
+    def test_same_seed_same_decision_stream(self):
+        config = get_profile("heavy")
+        a = FaultPlan(config, 123)
+        b = FaultPlan(config, 123)
+        assert [a.should_drop_frame() for _ in range(200)] == [
+            b.should_drop_frame() for _ in range(200)
+        ]
+        assert [a.probe_jitter() for _ in range(50)] == [
+            b.probe_jitter() for _ in range(50)
+        ]
+
+    def test_domains_are_isolated(self):
+        """Draining one domain's RNG must not perturb another's stream."""
+        config = get_profile("heavy")
+        quiet = FaultPlan(config, 9)
+        noisy = FaultPlan(config, 9)
+        for _ in range(500):  # burn the net + timing domains on one plan
+            noisy.should_drop_frame()
+            noisy.probe_jitter()
+        assert [quiet.should_overflow() for _ in range(100)] == [
+            noisy.should_overflow() for _ in range(100)
+        ]
+
+    def test_counters_mirror_into_telemetry(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.create(metrics=True)
+        plan = FaultPlan(FaultConfig(drop_prob=1.0), 5, telemetry=telemetry)
+        assert plan.should_drop_frame()
+        assert plan.stats.frames_dropped == 1
+        snapshot = telemetry.metrics.snapshot()
+        assert snapshot["counters"]["faults.net.dropped"] == 1
+
+
+# ---------------------------------------------------------------------------
+# frame-stream injectors
+# ---------------------------------------------------------------------------
+
+def _stream(n: int, gap: float = 1e-5):
+    return [(gap, Frame(size=256, protocol="tcp", symbol=i)) for i in range(n)]
+
+
+class TestFrameInjectors:
+    def test_certain_drop_drops_everything_but_keeps_schedule(self):
+        plan = FaultPlan(FaultConfig(drop_prob=1.0), 1)
+        assert list(faulty_frames(plan, iter(_stream(20)))) == []
+        assert plan.stats.frames_dropped == 20
+
+    def test_certain_duplication_doubles_with_fresh_frame_ids(self):
+        plan = FaultPlan(FaultConfig(dup_prob=1.0), 1)
+        out = list(faulty_frames(plan, iter(_stream(5))))
+        assert len(out) == 10
+        originals, dupes = out[::2], out[1::2]
+        for (_, orig), (dup_gap, dup) in zip(originals, dupes):
+            assert dup_gap == 0.0
+            assert dup.symbol == orig.symbol
+            assert dup.frame_id != orig.frame_id
+
+    def test_certain_reorder_swaps_adjacent_frames(self):
+        plan = FaultPlan(FaultConfig(reorder_prob=1.0), 1)
+        out = [frame.symbol for _, frame in faulty_frames(plan, iter(_stream(4)))]
+        assert out == [1, 0, 3, 2]
+
+    def test_dropped_gap_carries_into_next_frame(self):
+        plan = FaultPlan(FaultConfig(drop_prob=0.5), 3)
+        total_in = sum(gap for gap, _ in _stream(400))
+        out = list(faulty_frames(plan, iter(_stream(400))))
+        assert 0 < len(out) < 400
+        # All gaps conserved except what the final dropped frame carried out.
+        total_out = sum(gap for gap, _ in out)
+        assert total_out <= total_in
+        assert total_out >= total_in - 2e-5
+
+    def test_gap_jitter_preserves_non_negative_gaps(self):
+        plan = FaultPlan(FaultConfig(gap_jitter=0.9), 2)
+        out = list(faulty_frames(plan, iter(_stream(50))))
+        assert len(out) == 50
+        assert all(gap >= 0.0 for gap, _ in out)
+        assert plan.stats.gaps_jittered == 50
+
+
+# ---------------------------------------------------------------------------
+# machine wiring
+# ---------------------------------------------------------------------------
+
+class TestMachineWiring:
+    def test_off_profile_builds_no_plan(self):
+        assert _machine("off").faults is None
+
+    def test_active_profile_builds_plan(self):
+        machine = _machine("light")
+        assert machine.faults is not None
+        assert machine.faults.config == get_profile("light")
+
+    def test_nic_overflow_and_stall_counted(self):
+        machine = _machine("heavy")
+        machine.install_nic()
+        source = ConstantStream(
+            size=256, rate_pps=100_000, count=400, protocol="broadcast"
+        )
+        source.attach(machine, machine.nic)
+        machine.idle(int(machine.clock.frequency_hz * 0.01))
+        stats = machine.nic.stats
+        assert stats.overflow_dropped > 0
+        assert stats.refill_stalled > 0
+        assert machine.faults.stats.nic_overflow_drops == stats.overflow_dropped
+
+    def test_corunner_issues_llc_accesses_without_advancing_clock(self):
+        machine = _machine("moderate")
+        before = machine.clock.now
+        machine.idle(int(machine.clock.frequency_hz * 0.001))
+        assert machine.faults.stats.corunner_accesses > 0
+        assert machine.clock.now >= before
+
+    def test_probe_jitter_inflates_timed_access(self):
+        def measure(machine):
+            process = machine.new_process("p")
+            base = process.mmap(1)
+            process.access(base)
+            return [process.timed_access(base) for _ in range(40)]
+
+        quiet = _machine("off")
+        noisy = _machine("heavy")
+        q = measure(quiet)
+        n = measure(noisy)
+        assert sum(n) >= sum(q)
+        assert noisy.faults.stats.probes_jittered > 0
+
+    def test_identical_seeds_identical_fault_streams(self):
+        def run(seed: int):
+            machine = _machine("moderate", seed=seed)
+            machine.install_nic()
+            source = ConstantStream(
+                size=256, rate_pps=100_000, count=300, protocol="broadcast"
+            )
+            source.attach(machine, machine.nic)
+            machine.idle(int(machine.clock.frequency_hz * 0.005))
+            return machine.nic.stats.frames, machine.faults.stats.to_dict()
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+
+# ---------------------------------------------------------------------------
+# graceful degradation in the attack layer
+# ---------------------------------------------------------------------------
+
+class TestAttackDegradation:
+    def test_eviction_builder_defaults_single_attempt_when_quiet(self):
+        from repro.attack.evictionset import EvictionSetBuilder
+        from repro.attack.timing import calibrate_threshold
+
+        machine = _machine("off")
+        spy = machine.new_process("spy")
+        builder = EvictionSetBuilder(spy, calibrate_threshold(spy), huge_pages=2)
+        assert builder.reduce_attempts == 1
+
+    def test_eviction_builder_retries_under_faults(self):
+        from repro.attack.evictionset import EvictionSetBuilder
+        from repro.attack.timing import calibrate_threshold
+
+        machine = _machine("light")
+        spy = machine.new_process("spy")
+        builder = EvictionSetBuilder(spy, calibrate_threshold(spy), huge_pages=2)
+        assert builder.reduce_attempts == 3
+
+    def test_cluster_report_confidence(self):
+        from repro.attack.evictionset import ClusterReport
+
+        full = ClusterReport(set_index=0, groups=[1, 2], expected=2)
+        half = ClusterReport(set_index=0, groups=[1], expected=2)
+        assert full.confidence == 1.0
+        assert half.confidence == 0.5
+
+    def test_sequencer_recover_tolerates_dark_trace(self):
+        from repro.attack.evictionset import EvictionSetBuilder
+        from repro.attack.sequencer import Sequencer, SequencerConfig
+        from repro.attack.timing import calibrate_threshold
+
+        machine = _machine("off")
+        machine.install_nic()
+        spy = machine.new_process("spy")
+        builder = EvictionSetBuilder(spy, calibrate_threshold(spy), huge_pages=4)
+        groups = builder.cluster_index(0)
+        sequencer = Sequencer(
+            spy, groups[:3], SequencerConfig(n_samples=20, wait_cycles=0)
+        )
+        sequence, trace = sequencer.recover()  # no traffic: nothing observed
+        assert sequence == []
+        assert trace.samples
+
+    def test_calibration_rejects_bad_arguments(self):
+        from repro.attack.timing import calibrate_threshold
+
+        machine = _machine("off")
+        spy = machine.new_process("spy")
+        with pytest.raises(ValueError):
+            calibrate_threshold(spy, samples=2)
+        with pytest.raises(ValueError):
+            calibrate_threshold(spy, max_attempts=0)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end determinism guarantees
+# ---------------------------------------------------------------------------
+
+class TestJobsIndependence:
+    def test_noise_ablation_identical_across_jobs(self, tmp_path):
+        from repro.experiments import run_noise_ablation
+        from repro.runner import ExperimentRunner
+
+        cfg = MachineConfig().scaled_down()
+
+        def run(jobs: int):
+            runner = ExperimentRunner(jobs=jobs, use_cache=False)
+            result = run_noise_ablation(
+                cfg, levels=(0.0, 1.0), n_symbols=10, runner=runner
+            )
+            return result.error_rates, result.faults_injected
+
+        assert run(1) == run(2)
