@@ -29,6 +29,8 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.attack.timing import LatencyThreshold
 
 
@@ -64,6 +66,17 @@ class EvictionSet:
         self.set_index = set_index
         self.label = label
         self._telemetry = process.machine.telemetry
+        #: Physical addresses aligned with :attr:`addrs`, resolved lazily
+        #: (translation is deterministic and the pages stay mapped).  One
+        #: probe traversal then costs one batched machine call instead of
+        #: one Python call per line.  The slice/set decomposition is
+        #: cached alongside so the complex hash runs once per set ever.
+        self._paddrs: np.ndarray | None = None
+        self._flats: np.ndarray | None = None
+        self._lines: np.ndarray | None = None
+        #: Bumped on every zig-zag flip; lets sweep-level callers cache
+        #: concatenated traversal arrays keyed by orientation.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self.addrs)
@@ -71,42 +84,62 @@ class EvictionSet:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"EvictionSet({self.label or self.set_index}, n={len(self.addrs)})"
 
+    def paddrs(self) -> np.ndarray:
+        """Physical addresses in current traversal order (cached)."""
+        if self._paddrs is None:
+            translate = self.process.addrspace.translate
+            self._paddrs = np.fromiter(
+                (translate(addr) for addr in self.addrs),
+                np.int64,
+                count=len(self.addrs),
+            )
+            self._flats, self._lines = self.process.machine.llc.decompose_many(
+                self._paddrs
+            )
+        return self._paddrs
+
+    def decomp(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(flats, lines)`` decomposition, traversal-order aligned."""
+        self.paddrs()
+        return self._flats, self._lines
+
+    def probe_order_paddrs(self) -> np.ndarray:
+        """The reverse-of-last-traversal order the next probe will use."""
+        return self.paddrs()[::-1]
+
+    def flip(self) -> None:
+        """Record one zig-zag traversal (reverse the stored order)."""
+        self.addrs.reverse()
+        self.version += 1
+        if self._paddrs is not None:
+            self._paddrs = self._paddrs[::-1]
+            self._flats = self._flats[::-1]
+            self._lines = self._lines[::-1]
+
     def prime(self) -> None:
         """Fill the cache set with our lines (untimed traversal)."""
-        access = self.process.access
-        for addr in self.addrs:
-            access(addr)
+        self.process.machine.cpu_access_many(self.paddrs(), decomp=self.decomp())
 
     def probe(self) -> int:
-        """Timed zig-zag traversal; returns the number of misses seen."""
+        """Timed zig-zag traversal; returns the number of misses seen.
+
+        One batched machine call covers the whole traversal — the classic
+        per-line loop collapsed into :meth:`Machine.cpu_access_many`.
+        """
+        flats, lines = self.decomp()
+        lats = self.process.machine.cpu_access_many(
+            self.probe_order_paddrs(),
+            timed=True,
+            decomp=(flats[::-1], lines[::-1]),
+        )
+        self.flip()
+        misses = int((lats > self.threshold.threshold).sum())
         tele = self._telemetry
         if tele is not None and tele.metrics.enabled:
-            return self._probe_metered(tele)
-        timed = self.process.timed_access
-        is_miss = self.threshold.is_miss
-        misses = 0
-        for addr in reversed(self.addrs):
-            if is_miss(timed(addr)):
-                misses += 1
-        self.addrs.reverse()
-        return misses
-
-    def _probe_metered(self, tele) -> int:
-        """Probe while feeding per-access latencies into the metrics
-        registry — identical accesses and return value, just observed."""
-        timed = self.process.timed_access
-        is_miss = self.threshold.is_miss
-        histogram = tele.metrics.histogram("probe.latency_cycles")
-        misses = 0
-        for addr in reversed(self.addrs):
-            latency = timed(addr)
-            histogram.observe(latency)
-            if is_miss(latency):
-                misses += 1
-        self.addrs.reverse()
-        tele.metrics.counter("probe.accesses").inc(len(self.addrs))
-        if misses:
-            tele.metrics.counter("probe.misses").inc(misses)
+            tele.metrics.histogram("probe.latency_cycles").observe_many(lats)
+            tele.metrics.counter("probe.accesses").inc(len(self.addrs))
+            if misses:
+                tele.metrics.counter("probe.misses").inc(misses)
         return misses
 
     def probe_fast(self) -> int:
@@ -115,16 +148,20 @@ class EvictionSet:
         Models an attacker timing the whole traversal instead of each load;
         returns misses inferred from aggregate latency.
         """
-        access = self.process.access
-        hit_latency = self.process.machine.llc.timing.llc_hit_latency
-        miss_latency = self.process.machine.llc.timing.llc_miss_latency
-        total = 0
-        for addr in reversed(self.addrs):
-            total += access(addr)
-        self.addrs.reverse()
-        self.process.machine.clock.advance(self.process.machine.llc.timing.measure_overhead)
-        baseline = hit_latency * len(self.addrs)
-        return max(0, round((total - baseline) / (miss_latency - hit_latency)))
+        machine = self.process.machine
+        timing = machine.llc.timing
+        flats, lines = self.decomp()
+        lats = machine.cpu_access_many(
+            self.probe_order_paddrs(), decomp=(flats[::-1], lines[::-1])
+        )
+        self.flip()
+        total = int(lats.sum())
+        machine.clock.advance(timing.measure_overhead)
+        baseline = timing.llc_hit_latency * len(self.addrs)
+        return max(
+            0,
+            round((total - baseline) / (timing.llc_miss_latency - timing.llc_hit_latency)),
+        )
 
 
 @dataclass

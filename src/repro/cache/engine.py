@@ -1,0 +1,281 @@
+"""Packed array-backed storage for every set of the sliced LLC.
+
+The legacy model kept one ``OrderedDict`` per cache set (see
+:mod:`repro.cache.legacy`), which makes every simulated access a Python
+dict operation and every :class:`~repro.core.machine.Machine` construction
+an allocation of 16384 dicts.  :class:`CacheEngine` replaces that with flat
+arrays shared by *all* sets:
+
+* ``tags``   — int64, ``n_sets * ways``; the full line address (which is
+  also the tag), ``-1`` for an empty way;
+* ``flags``  — uint8, per-way ``LINE_IO`` / ``LINE_DIRTY`` bits;
+* ``stamps`` — int64, per-way last-touch tick from a single monotonic
+  counter.  Within one set, stamps are unique and strictly ordered by
+  recency, so "LRU" is "minimum stamp" — exactly the order the legacy
+  ``OrderedDict`` maintained structurally.
+
+A single Python dict (``(set, line) -> way``, encoded as one integer key)
+is kept as a directory for O(1) scalar lookups, and small Python lists
+track per-set occupancy and I/O-line counts.  The numpy arrays are the
+ground truth that the *batched* kernels operate on:
+:meth:`lookup_many`/:meth:`touch_many` resolve and touch thousands of
+accesses with a handful of vectorised operations, which is what lets a
+PRIME+PROBE sweep issue one engine call instead of one Python call per
+line.
+
+Semantics are differentially tested against the legacy model
+(``tests/test_engine_equivalence.py``): identical eviction decisions,
+stats attribution and probe results on randomized CPU/DMA/flush/partition
+traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.cacheset import LINE_DIRTY, LINE_IO
+
+
+class CacheEngine:
+    """Flat-array storage and LRU policy for ``n_sets`` x ``ways`` lines.
+
+    All methods take a *flat set id* (slice-major, as produced by
+    :meth:`repro.cache.llc.SlicedLLC.flat_set_of`) plus a line address.
+    The engine is policy-free with respect to *which* victim origin to
+    choose — callers (the DDIO path, the partition defense) pick victims
+    via :meth:`evict_lru` / :meth:`evict_lru_of`.
+    """
+
+    __slots__ = (
+        "n_sets",
+        "ways",
+        "tags",
+        "flags",
+        "stamps",
+        "tags2",
+        "flags2",
+        "stamps2",
+        "_size",
+        "_n_io",
+        "_dir",
+        "_tick",
+        "_line_span",
+    )
+
+    def __init__(self, n_sets: int, ways: int) -> None:
+        if n_sets <= 0:
+            raise ValueError(f"n_sets must be positive, got {n_sets}")
+        if ways <= 0:
+            raise ValueError(f"ways must be positive, got {ways}")
+        self.n_sets = n_sets
+        self.ways = ways
+        total = n_sets * ways
+        self.tags = np.full(total, -1, dtype=np.int64)
+        self.flags = np.zeros(total, dtype=np.uint8)
+        self.stamps = np.zeros(total, dtype=np.int64)
+        # 2-D views over the same memory, for row gathers in batched ops.
+        self.tags2 = self.tags.reshape(n_sets, ways)
+        self.flags2 = self.flags.reshape(n_sets, ways)
+        self.stamps2 = self.stamps.reshape(n_sets, ways)
+        self._size = [0] * n_sets
+        self._n_io = [0] * n_sets
+        #: Directory: (flat * line_span + line) -> way.  ``line_span`` is a
+        #: power of two above any line address so keys never collide.
+        self._dir: dict[int, int] = {}
+        self._tick = 0
+        self._line_span = 1 << 58
+
+    # ------------------------------------------------------------------
+    # Key encoding
+    # ------------------------------------------------------------------
+    def _key(self, flat: int, line: int) -> int:
+        return flat * self._line_span + line
+
+    # ------------------------------------------------------------------
+    # Scalar lookups
+    # ------------------------------------------------------------------
+    def contains(self, flat: int, line: int) -> bool:
+        return (flat * self._line_span + line) in self._dir
+
+    def flags_of(self, flat: int, line: int) -> int | None:
+        """Flags of a resident line, or None if absent (no LRU update)."""
+        way = self._dir.get(flat * self._line_span + line)
+        if way is None:
+            return None
+        return int(self.flags[flat * self.ways + way])
+
+    def size(self, flat: int) -> int:
+        """Number of resident lines in a set."""
+        return self._size[flat]
+
+    def io_count(self, flat: int) -> int:
+        """Number of resident I/O-origin lines in a set."""
+        return self._n_io[flat]
+
+    def cpu_count(self, flat: int) -> int:
+        """Number of resident CPU-origin lines in a set."""
+        return self._size[flat] - self._n_io[flat]
+
+    # ------------------------------------------------------------------
+    # Scalar mutations
+    # ------------------------------------------------------------------
+    def touch(self, flat: int, line: int, set_dirty: bool = False) -> bool:
+        """Access a line; True on hit (stamps it MRU, optionally dirties)."""
+        way = self._dir.get(flat * self._line_span + line)
+        if way is None:
+            return False
+        idx = flat * self.ways + way
+        self._tick += 1
+        self.stamps[idx] = self._tick
+        if set_dirty:
+            self.flags[idx] |= LINE_DIRTY
+        return True
+
+    def insert(self, flat: int, line: int, flags: int) -> tuple[int, int] | None:
+        """Insert a new line as MRU, evicting the set's LRU line if full.
+
+        Returns the evicted ``(line, flags)`` or None.  The caller is
+        responsible for the line not already being present — same contract
+        as the legacy ``CacheSet.insert``.
+        """
+        evicted = None
+        if self._size[flat] >= self.ways:
+            evicted = self.evict_lru(flat)
+        base = flat * self.ways
+        # Find a free way: tags slice scan (size < ways guarantees one).
+        row = self.tags[base : base + self.ways]
+        way = int(np.argmin(row))  # empty ways hold -1 == the row minimum
+        if row[way] != -1:  # pragma: no cover - guarded by size bookkeeping
+            raise RuntimeError(f"set {flat} full despite size {self._size[flat]}")
+        idx = base + way
+        self.tags[idx] = line
+        self.flags[idx] = flags
+        self._tick += 1
+        self.stamps[idx] = self._tick
+        self._dir[flat * self._line_span + line] = way
+        self._size[flat] += 1
+        if flags & LINE_IO:
+            self._n_io[flat] += 1
+        return evicted
+
+    def evict_lru(self, flat: int) -> tuple[int, int]:
+        """Evict and return the least recently used line of a set."""
+        if not self._size[flat]:
+            raise LookupError("evict_lru on empty set")
+        base = flat * self.ways
+        stamps = self.stamps[base : base + self.ways]
+        if self._size[flat] == self.ways:
+            way = int(np.argmin(stamps))
+        else:
+            # Skip empty ways (stamp irrelevant): pick min among occupied.
+            row = self.tags[base : base + self.ways]
+            occupied = row != -1
+            way = int(np.where(occupied, stamps, np.iinfo(np.int64).max).argmin())
+        return self._drop(flat, base + way)
+
+    def evict_lru_of(self, flat: int, io: bool) -> tuple[int, int] | None:
+        """Evict the LRU line whose origin matches ``io``; None if no match."""
+        count = self._n_io[flat] if io else self._size[flat] - self._n_io[flat]
+        if not count:
+            return None
+        base = flat * self.ways
+        row = self.tags[base : base + self.ways]
+        flag_row = self.flags[base : base + self.ways]
+        match = (row != -1) & (((flag_row & LINE_IO) != 0) == io)
+        stamps = np.where(match, self.stamps[base : base + self.ways], np.iinfo(np.int64).max)
+        way = int(stamps.argmin())
+        return self._drop(flat, base + way)
+
+    def invalidate(self, flat: int, line: int) -> int | None:
+        """Drop a line without eviction bookkeeping; return its flags."""
+        way = self._dir.get(flat * self._line_span + line)
+        if way is None:
+            return None
+        _line, flags = self._drop(flat, flat * self.ways + way)
+        return flags
+
+    def mark_io(self, flat: int, line: int) -> None:
+        """Convert a resident line to a dirty I/O line and stamp it MRU."""
+        way = self._dir.get(flat * self._line_span + line)
+        if way is None:
+            raise LookupError(f"line {line:#x} not resident")
+        idx = flat * self.ways + way
+        flags = int(self.flags[idx])
+        if not (flags & LINE_IO):
+            self._n_io[flat] += 1
+        self.flags[idx] = flags | LINE_IO | LINE_DIRTY
+        self._tick += 1
+        self.stamps[idx] = self._tick
+
+    def _drop(self, flat: int, idx: int) -> tuple[int, int]:
+        """Remove the line at flat index ``idx``; return (line, flags)."""
+        line = int(self.tags[idx])
+        flags = int(self.flags[idx])
+        self.tags[idx] = -1
+        self.flags[idx] = 0
+        self.stamps[idx] = 0
+        del self._dir[flat * self._line_span + line]
+        self._size[flat] -= 1
+        if flags & LINE_IO:
+            self._n_io[flat] -= 1
+        return line, flags
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def lines_in_lru_order(self, flat: int, io: bool | None = None) -> list[tuple[int, int]]:
+        """Resident ``(line, flags)`` pairs, LRU first, optionally filtered
+        to one origin — the order the legacy OrderedDict iterated in."""
+        base = flat * self.ways
+        out = []
+        for way in range(self.ways):
+            line = int(self.tags[base + way])
+            if line == -1:
+                continue
+            flags = int(self.flags[base + way])
+            if io is not None and bool(flags & LINE_IO) != io:
+                continue
+            out.append((int(self.stamps[base + way]), line, flags))
+        out.sort()
+        return [(line, flags) for _stamp, line, flags in out]
+
+    # ------------------------------------------------------------------
+    # Batched kernels
+    # ------------------------------------------------------------------
+    def lookup_many(
+        self, flats: np.ndarray, lines: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised residency check.
+
+        Returns ``(hit, way)`` arrays; ``way`` is only meaningful where
+        ``hit`` is True.  Reflects the state *before* any of the accesses —
+        callers must ensure no eviction can intervene (see
+        :meth:`repro.cache.llc.SlicedLLC.access_many`).
+        """
+        rows = self.tags2[flats]
+        eq = rows == lines[:, None]
+        return eq.any(axis=1), eq.argmax(axis=1)
+
+    def touch_many(
+        self,
+        flats: np.ndarray,
+        ways: np.ndarray,
+        set_dirty: bool = False,
+    ) -> None:
+        """Bulk MRU-stamp resident lines at ``(flats, ways)`` in order.
+
+        Stamps are assigned in array order from the shared tick counter, so
+        within any one set the relative recency matches a sequential touch
+        of the same accesses.  Duplicate positions are fine: numpy fancy
+        assignment keeps the *last* stamp, which is what sequential
+        touching would do.
+        """
+        n = len(flats)
+        if not n:
+            return
+        idx = flats * self.ways + ways
+        t0 = self._tick + 1
+        self._tick += n
+        self.stamps[idx] = np.arange(t0, t0 + n, dtype=np.int64)
+        if set_dirty:
+            self.flags[idx] |= LINE_DIRTY

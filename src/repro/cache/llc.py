@@ -12,19 +12,114 @@ it.  Three access paths exist:
   disabled it goes to DRAM and invalidates any cached copy.
 * :meth:`SlicedLLC.flush` — CLFLUSH, used by some attack variants.
 
+Since the engine refactor, :class:`SlicedLLC` is a thin *policy façade*
+over :class:`repro.cache.engine.CacheEngine`, which holds every set's
+tags, flag bits and LRU stamps in flat packed arrays.  The façade owns
+what the engine deliberately does not: DDIO way caps, partition
+victim-selection hooks, telemetry hooks, :class:`CacheStats` attribution
+and DRAM-traffic accounting.  On top of the scalar paths it exposes
+:meth:`access_many`, the batched kernel PRIME+PROBE sweeps ride
+(see PERFORMANCE.md), and a memoized per-line slice/set decomposition so
+the complex hash is evaluated once per line ever, not once per access.
+
 An optional *partition* object (the Section VII defense) takes over victim
-selection; see :mod:`repro.defense.partitioning`.
+selection; see :mod:`repro.defense.partitioning`.  The pre-engine model is
+preserved verbatim in :mod:`repro.cache.legacy` for differential testing.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterator
 
-from repro.cache.cacheset import CacheSet, LINE_DIRTY, LINE_IO
+import numpy as np
+
+from repro.cache.cacheset import LINE_DIRTY, LINE_IO
+from repro.cache.engine import CacheEngine
 from repro.cache.slicehash import IntelComplexHash, SliceHash
 from repro.cache.stats import CacheStats
 from repro.core.config import CacheGeometry, DDIOConfig, TimingParams
 from repro.mem.physmem import DramTraffic
+
+
+class SetView:
+    """A per-set façade over the packed engine, API-compatible with the
+    legacy :class:`~repro.cache.cacheset.CacheSet`.
+
+    Consumers that reason about one set at a time — the L1 hierarchy's
+    dirty-writeback touch, tests, introspection — keep working unchanged;
+    every operation executes on the shared flat arrays.
+    """
+
+    __slots__ = ("engine", "flat", "ways")
+
+    def __init__(self, engine: CacheEngine, flat: int) -> None:
+        self.engine = engine
+        self.flat = flat
+        self.ways = engine.ways
+
+    def __len__(self) -> int:
+        return self.engine.size(self.flat)
+
+    def __contains__(self, line_addr: int) -> bool:
+        return self.engine.contains(self.flat, line_addr)
+
+    @property
+    def io_count(self) -> int:
+        return self.engine.io_count(self.flat)
+
+    @property
+    def cpu_count(self) -> int:
+        return self.engine.cpu_count(self.flat)
+
+    @property
+    def lines(self) -> dict[int, int]:
+        """line -> flags in LRU-to-MRU order (recency order, like legacy)."""
+        return dict(self.engine.lines_in_lru_order(self.flat))
+
+    def touch(self, line_addr: int, set_dirty: bool = False) -> bool:
+        return self.engine.touch(self.flat, line_addr, set_dirty=set_dirty)
+
+    def flags_of(self, line_addr: int) -> int | None:
+        return self.engine.flags_of(self.flat, line_addr)
+
+    def insert(self, line_addr: int, flags: int) -> tuple[int, int] | None:
+        return self.engine.insert(self.flat, line_addr, flags)
+
+    def evict_lru(self) -> tuple[int, int]:
+        return self.engine.evict_lru(self.flat)
+
+    def evict_lru_of(self, io: bool) -> tuple[int, int] | None:
+        return self.engine.evict_lru_of(self.flat, io)
+
+    def invalidate(self, line_addr: int) -> int | None:
+        return self.engine.invalidate(self.flat, line_addr)
+
+    def mark_io(self, line_addr: int) -> None:
+        self.engine.mark_io(self.flat, line_addr)
+
+    def occupancy(self) -> tuple[int, int]:
+        return self.cpu_count, self.io_count
+
+
+class _SetViews:
+    """Lazy indexable sequence of :class:`SetView` (``llc.sets[flat]``)."""
+
+    __slots__ = ("engine",)
+
+    def __init__(self, engine: CacheEngine) -> None:
+        self.engine = engine
+
+    def __len__(self) -> int:
+        return self.engine.n_sets
+
+    def __getitem__(self, flat: int) -> SetView:
+        if not -self.engine.n_sets <= flat < self.engine.n_sets:
+            raise IndexError(flat)
+        return SetView(self.engine, flat % self.engine.n_sets)
+
+    def __iter__(self) -> Iterator[SetView]:
+        for flat in range(self.engine.n_sets):
+            yield SetView(self.engine, flat)
 
 
 class SlicedLLC:
@@ -48,9 +143,8 @@ class SlicedLLC:
                 "slice hash built for a different slice count: "
                 f"{self.slice_hash.n_slices} != {self.geometry.n_slices}"
             )
-        self.sets: list[CacheSet] = [
-            CacheSet(self.geometry.ways) for _ in range(self.geometry.total_sets)
-        ]
+        self.engine = CacheEngine(self.geometry.total_sets, self.geometry.ways)
+        self.sets = _SetViews(self.engine)
         self.stats = CacheStats()
         #: Observability: set by Machine when telemetry is installed; every
         #: hook below guards on ``is not None`` so the untelemetered hot
@@ -67,6 +161,12 @@ class SlicedLLC:
         self.evict_hook: Callable[[int], None] | None = None
         self._offset_bits = self.geometry.offset_bits
         self._set_mask = self.geometry.sets_per_slice - 1
+        #: Memoized decomposition: line address -> flat set id.  The slice
+        #: hash is pure, so each line is hashed at most once per LLC; every
+        #: access path below goes through this memo, which removes the
+        #: repeated ``slice_of`` evaluations the legacy ``flat_set_of``
+        #: performed on the cpu_access/io_write hot paths.
+        self._flat_memo: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Address decomposition
@@ -80,71 +180,140 @@ class SlicedLLC:
         return self.slice_hash.slice_of(paddr)
 
     def flat_set_of(self, paddr: int) -> int:
-        """Flat set id: ``slice * sets_per_slice + set_index``."""
-        return (
-            self.slice_hash.slice_of(paddr) * self.geometry.sets_per_slice
-            + ((paddr >> self._offset_bits) & self._set_mask)
-        )
+        """Flat set id: ``slice * sets_per_slice + set_index`` (memoized)."""
+        line = paddr >> self._offset_bits
+        flat = self._flat_memo.get(line)
+        if flat is None:
+            flat = (
+                self.slice_hash.slice_of(paddr) * self.geometry.sets_per_slice
+                + (line & self._set_mask)
+            )
+            self._flat_memo[line] = flat
+        return flat
 
     def line_addr_of(self, paddr: int) -> int:
         """Line-aligned address (tag identity used inside sets)."""
         return paddr >> self._offset_bits
+
+    def decompose_many(self, paddrs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised ``(flat_set, line)`` decomposition of an address array.
+
+        One numpy pass through the slice hash — no per-address Python.
+        """
+        paddrs = np.asarray(paddrs, dtype=np.int64)
+        lines = paddrs >> self._offset_bits
+        flats = (
+            self.slice_hash.slice_of_many(paddrs) * self.geometry.sets_per_slice
+            + (lines & self._set_mask)
+        )
+        return flats, lines
 
     # ------------------------------------------------------------------
     # CPU path
     # ------------------------------------------------------------------
     def cpu_access(self, paddr: int, write: bool = False, now: int = 0) -> tuple[bool, int]:
         """Access ``paddr`` from a CPU; returns ``(hit, latency_cycles)``."""
-        flat = self.flat_set_of(paddr)
-        cset = self.sets[flat]
         line = paddr >> self._offset_bits
-        if cset.touch(line, set_dirty=write):
+        flat = self._flat_memo.get(line)
+        if flat is None:
+            flat = self.flat_set_of(paddr)
+        if self.engine.touch(flat, line, set_dirty=write):
             self.stats.cpu_hits += 1
             return True, self.timing.llc_hit_latency
         self.stats.cpu_misses += 1
         self.traffic.reads += 1
-        self._fill_cpu(flat, cset, line, write, now)
+        self._fill_cpu(flat, line, write, now)
         return False, self.timing.llc_miss_latency
 
-    def _fill_cpu(self, flat: int, cset: CacheSet, line: int, write: bool, now: int) -> None:
+    def _fill_cpu(self, flat: int, line: int, write: bool, now: int) -> None:
         flags = LINE_DIRTY if write else 0
         if self.partition is not None:
-            evicted = self.partition.victim_for_cpu_fill(self, flat, cset, now)
+            evicted = self.partition.victim_for_cpu_fill(self, flat, now)
             if evicted is not None:
                 self._retire(evicted, by_io=False)
-            cset.insert(line, flags)
-            self.partition.after_fill(self, flat, cset, now)
+            self.engine.insert(flat, line, flags)
+            self.partition.after_fill(self, flat, now)
             return
-        evicted = cset.insert(line, flags)
+        evicted = self.engine.insert(flat, line, flags)
         if evicted is not None:
             self._retire(evicted, by_io=False)
+
+    def access_many(
+        self,
+        paddrs: np.ndarray,
+        write: bool = False,
+        now: int = 0,
+        decomp: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`cpu_access`: returns ``(hits, latencies)`` arrays.
+
+        One engine call resolves every address; sets in which every
+        accessed line is already resident are touched with vectorised
+        kernels, and only sets containing at least one miss fall back to
+        the exact scalar path (in original access order, so per-set
+        behaviour — eviction decisions, LRU order, stats — is identical to
+        issuing the accesses one by one).  Accesses to different sets are
+        independent, so the cross-set reordering this implies is
+        unobservable; the differential harness pins that equivalence.
+
+        ``decomp`` lets callers that replay a fixed address sequence
+        (eviction-set sweeps) pass the cached ``(flats, lines)``
+        decomposition instead of re-hashing every call.
+        """
+        paddrs = np.asarray(paddrs, dtype=np.int64)
+        n = len(paddrs)
+        hit_latency = self.timing.llc_hit_latency
+        if n == 0:
+            return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.int64)
+        flats, lines = decomp if decomp is not None else self.decompose_many(paddrs)
+        hit, ways = self.engine.lookup_many(flats, lines)
+        if hit.all():
+            self.engine.touch_many(flats, ways, set_dirty=write)
+            self.stats.cpu_hits += n
+            return (
+                np.ones(n, dtype=bool),
+                np.full(n, hit_latency, dtype=np.int64),
+            )
+        hits = np.empty(n, dtype=bool)
+        lats = np.empty(n, dtype=np.int64)
+        miss_sets = np.unique(flats[~hit])
+        scalar = np.isin(flats, miss_sets)
+        for i in np.flatnonzero(scalar):
+            hits[i], lats[i] = self.cpu_access(int(paddrs[i]), write=write, now=now)
+        clean = ~scalar
+        n_clean = int(clean.sum())
+        if n_clean:
+            self.engine.touch_many(flats[clean], ways[clean], set_dirty=write)
+            self.stats.cpu_hits += n_clean
+            hits[clean] = True
+            lats[clean] = hit_latency
+        return hits, lats
 
     # ------------------------------------------------------------------
     # I/O (DMA) path
     # ------------------------------------------------------------------
     def io_write(self, paddr: int, now: int = 0) -> None:
         """Inbound DMA write of one cache line."""
+        engine = self.engine
+        line = paddr >> self._offset_bits
+        flat = self._flat_memo.get(line)
+        if flat is None:
+            flat = self.flat_set_of(paddr)
         if not self.ddio.enabled:
             # Direct to DRAM; snoop-invalidate any cached copy.
             self.traffic.writes += 1
-            flat = self.flat_set_of(paddr)
-            cset = self.sets[flat]
-            line = paddr >> self._offset_bits
-            if cset.invalidate(line) is not None:
+            if engine.invalidate(flat, line) is not None:
                 self.stats.invalidations += 1
                 if self.evict_hook is not None:
                     self.evict_hook(line)
                 if self.partition is not None:
-                    self.partition.after_fill(self, flat, cset, now)
+                    self.partition.after_fill(self, flat, now)
             return
-        flat = self.flat_set_of(paddr)
-        cset = self.sets[flat]
-        line = paddr >> self._offset_bits
-        if line in cset:
-            cset.mark_io(line)
+        if engine.contains(flat, line):
+            engine.mark_io(flat, line)
             self.stats.io_hits += 1
             if self.partition is not None:
-                self.partition.after_fill(self, flat, cset, now)
+                self.partition.after_fill(self, flat, now)
             return
         self.stats.io_fills += 1
         if self.io_fill_hook is not None:
@@ -152,29 +321,31 @@ class SlicedLLC:
         if self.telemetry is not None:
             self.telemetry.on_dma_fill()
         if self.partition is not None:
-            evicted = self.partition.victim_for_io_fill(self, flat, cset, now)
+            evicted = self.partition.victim_for_io_fill(self, flat, now)
             if evicted is not None:
                 self._retire(evicted, by_io=True)
-            cset.insert(line, LINE_IO | LINE_DIRTY)
-            self.partition.after_fill(self, flat, cset, now)
+            engine.insert(flat, line, LINE_IO | LINE_DIRTY)
+            self.partition.after_fill(self, flat, now)
             return
         # Vanilla DDIO: cap I/O lines per set, but victims may be CPU lines.
-        if cset.io_count >= self.ddio.write_allocate_ways:
-            evicted = cset.evict_lru_of(io=True)
+        if engine.io_count(flat) >= self.ddio.write_allocate_ways:
+            evicted = engine.evict_lru_of(flat, io=True)
             if evicted is not None:
                 self._retire(evicted, by_io=True)
-        elif len(cset) >= cset.ways:
-            self._retire(cset.evict_lru(), by_io=True)
-        cset.insert(line, LINE_IO | LINE_DIRTY)
+        elif engine.size(flat) >= engine.ways:
+            self._retire(engine.evict_lru(flat), by_io=True)
+        engine.insert(flat, line, LINE_IO | LINE_DIRTY)
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def flush(self, paddr: int) -> int:
         """CLFLUSH: invalidate (with writeback if dirty); returns latency."""
-        cset = self.sets[self.flat_set_of(paddr)]
         line = paddr >> self._offset_bits
-        flags = cset.invalidate(line)
+        flat = self._flat_memo.get(line)
+        if flat is None:
+            flat = self.flat_set_of(paddr)
+        flags = self.engine.invalidate(flat, line)
         if flags is not None:
             self.stats.invalidations += 1
             if self.evict_hook is not None:
@@ -189,12 +360,9 @@ class SlicedLLC:
 
         Dirty lines are written back.  Returns the number invalidated.
         """
-        cset = self.sets[flat_set]
-        victims = [
-            line for line, flags in cset.lines.items() if bool(flags & LINE_IO) == io
-        ]
-        for line in victims:
-            flags = cset.invalidate(line)
+        victims = self.engine.lines_in_lru_order(flat_set, io=io)
+        for line, _flags in victims:
+            flags = self.engine.invalidate(flat_set, line)
             self.stats.invalidations += 1
             if self.evict_hook is not None:
                 self.evict_hook(line)
@@ -226,8 +394,9 @@ class SlicedLLC:
     # ------------------------------------------------------------------
     def is_resident(self, paddr: int) -> bool:
         """Whether the line holding ``paddr`` is currently cached."""
-        return (paddr >> self._offset_bits) in self.sets[self.flat_set_of(paddr)]
+        line = paddr >> self._offset_bits
+        return self.engine.contains(self.flat_set_of(paddr), line)
 
     def set_occupancy(self, flat_set: int) -> tuple[int, int]:
         """(cpu_lines, io_lines) resident in ``flat_set``."""
-        return self.sets[flat_set].occupancy()
+        return self.engine.cpu_count(flat_set), self.engine.io_count(flat_set)

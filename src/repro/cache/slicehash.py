@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 #: XOR masks of the reverse-engineered Intel slice hash (one parity function
 #: per slice-select bit).  Bit 6 upward participate; the family is the one
 #: recovered for 8-slice Xeon parts.
@@ -38,6 +40,16 @@ class SliceHash(ABC):
     @abstractmethod
     def slice_of(self, paddr: int) -> int:
         """Slice id (0 .. n_slices-1) for physical address ``paddr``."""
+
+    def slice_of_many(self, paddrs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`slice_of` over an int64 address array.
+
+        Subclasses override with true numpy kernels; this fallback keeps
+        custom hashes correct (one Python call per address).
+        """
+        return np.fromiter(
+            (self.slice_of(int(p)) for p in paddrs), np.int64, count=len(paddrs)
+        )
 
 
 class IntelComplexHash(SliceHash):
@@ -63,6 +75,14 @@ class IntelComplexHash(SliceHash):
             result |= ((paddr & mask).bit_count() & 1) << bit
         return result
 
+    def slice_of_many(self, paddrs: np.ndarray) -> np.ndarray:
+        paddrs = np.asarray(paddrs, dtype=np.int64)
+        result = np.zeros(len(paddrs), dtype=np.int64)
+        for bit, mask in enumerate(self.masks):
+            parity = np.bitwise_count(paddrs & np.int64(mask)) & 1
+            result |= parity.astype(np.int64) << bit
+        return result
+
 
 class ModuloSliceHash(SliceHash):
     """Transparent slice selection: line address modulo slice count.
@@ -78,3 +98,7 @@ class ModuloSliceHash(SliceHash):
 
     def slice_of(self, paddr: int) -> int:
         return (paddr >> self.line_bits) & (self.n_slices - 1)
+
+    def slice_of_many(self, paddrs: np.ndarray) -> np.ndarray:
+        paddrs = np.asarray(paddrs, dtype=np.int64)
+        return (paddrs >> self.line_bits) & (self.n_slices - 1)

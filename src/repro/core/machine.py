@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import random
 
+import numpy as np
+
 from repro.cache.llc import SlicedLLC
 from repro.core.clock import SimClock
 from repro.core.config import MachineConfig
@@ -78,6 +80,24 @@ class Process:
             overhead += machine.faults.probe_jitter()
         machine.clock.advance(overhead)
         return latency + overhead
+
+    def access_many(
+        self, vaddrs, write: bool = False, timed: bool = False
+    ) -> np.ndarray:
+        """Batched :meth:`access`/:meth:`timed_access` over many addresses.
+
+        Semantically one :meth:`access` (or :meth:`timed_access`) per
+        address, in order — pending events still fire at the correct
+        simulated instants — but issued as engine-batched chunks whenever
+        no event can interrupt the chunk (see
+        :meth:`Machine.cpu_access_many`).  Returns the per-access latency
+        array the sequential loop would have produced.
+        """
+        translate = self.addrspace.translate
+        paddrs = np.fromiter(
+            (translate(int(v)) for v in vaddrs), np.int64, count=len(vaddrs)
+        )
+        return self.machine.cpu_access_many(paddrs, write=write, timed=timed)
 
     def flush(self, vaddr: int) -> int:
         """CLFLUSH the line containing ``vaddr``."""
@@ -210,6 +230,84 @@ class Machine:
     def new_process(self, name: str) -> Process:
         """Create a CPU process on this machine."""
         return Process(self, name)
+
+    # ------------------------------------------------------------------
+    # Batched CPU accesses
+    # ------------------------------------------------------------------
+    def cpu_access_many(
+        self,
+        paddrs: np.ndarray,
+        write: bool = False,
+        timed: bool = False,
+        decomp: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Issue many CPU accesses with per-access event/clock semantics.
+
+        Equivalent to a loop of ``Process.access`` / ``Process.timed_access``
+        over physical addresses, but the loop body is replaced by batched
+        :meth:`SlicedLLC.access_many` chunks wherever that is provably
+        unobservable:
+
+        * a chunk is only batched when the earliest pending event lies
+          beyond a worst-case (all-miss) bound on the chunk's duration, so
+          every event still fires before exactly the access it would have
+          preceded in the sequential loop;
+        * an active partition falls back to the scalar path (its presence
+          clocks read the advancing ``clock.now`` on every fill);
+        * timed accesses under an active fault plan fall back so
+          measurement jitter draws stay per-access and bit-identical.
+
+        ``decomp`` optionally carries the caller's cached ``(flats,
+        lines)`` decomposition of ``paddrs`` (see
+        :meth:`SlicedLLC.access_many`).
+
+        Returns the int64 latency array the sequential loop would return.
+        """
+        llc = self.llc
+        clock = self.clock
+        events = self.events
+        overhead = llc.timing.measure_overhead if timed else 0
+        n = len(paddrs)
+        out = np.empty(n, dtype=np.int64)
+        scalar_only = llc.partition is not None or (timed and self.faults is not None)
+        worst = llc.timing.llc_miss_latency + overhead
+        faults = self.faults
+        i = 0
+        while i < n:
+            events.run_due(clock.now)
+            m = 0
+            if not scalar_only:
+                nxt = events.peek_time()
+                if nxt is None:
+                    m = n - i
+                else:
+                    m = min(n - i, (nxt - clock.now) // worst)
+            if m <= 0:
+                # Event imminent (or exact per-access semantics required):
+                # one sequential access, then re-evaluate.
+                lat = llc.cpu_access(int(paddrs[i]), write=write, now=clock.now)[1]
+                if timed:
+                    lat += overhead
+                    if faults is not None:
+                        lat += faults.probe_jitter()
+                clock.advance(lat)
+                out[i] = lat
+                i += 1
+                continue
+            chunk_decomp = (
+                (decomp[0][i : i + m], decomp[1][i : i + m])
+                if decomp is not None
+                else None
+            )
+            _hits, lats = llc.access_many(
+                paddrs[i : i + m], write=write, now=clock.now, decomp=chunk_decomp
+            )
+            if timed:
+                lats = lats + overhead
+            out[i : i + m] = lats
+            clock.advance(int(lats.sum()))
+            i += m
+        return out
 
     # ------------------------------------------------------------------
     # Time control

@@ -16,13 +16,17 @@ visible — at most one bit of information per period, as the paper argues.
 
 Presence is accounted lazily (on fills and at adaptation) so the simulation
 never has to tick 16384 counters per cycle.
+
+Since the engine refactor the partition operates directly on the packed
+representation: every hook receives the flat set id and performs its
+victim selection and boundary invalidations through the LLC's
+:class:`~repro.cache.engine.CacheEngine`.  The pre-engine cset-based
+variant is frozen in :mod:`repro.cache.legacy` for differential testing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-from repro.cache.cacheset import CacheSet
 
 
 @dataclass(frozen=True)
@@ -99,33 +103,35 @@ class AdaptivePartition:
     # ------------------------------------------------------------------
     # Victim selection (called by the LLC before inserting a fill)
     # ------------------------------------------------------------------
-    def victim_for_io_fill(self, llc, flat: int, cset: CacheSet, now: int):
+    def victim_for_io_fill(self, llc, flat: int, now: int):
         """Make room for an I/O fill strictly inside the I/O partition."""
-        if cset.io_count >= self.quota(flat):
-            return cset.evict_lru_of(io=True)
-        if len(cset) >= cset.ways:
+        engine = llc.engine
+        if engine.io_count(flat) >= self.quota(flat):
+            return engine.evict_lru_of(flat, io=True)
+        if engine.size(flat) >= engine.ways:
             # Transitional only (e.g. partition freshly installed over a
             # full cache): take a CPU line once; invariants hold thereafter.
-            return cset.evict_lru()
+            return engine.evict_lru(flat)
         return None
 
-    def victim_for_cpu_fill(self, llc, flat: int, cset: CacheSet, now: int):
+    def victim_for_cpu_fill(self, llc, flat: int, now: int):
         """Make room for a CPU fill strictly inside the CPU partition."""
-        cpu_limit = cset.ways - self.quota(flat)
-        if cset.cpu_count >= cpu_limit:
-            victim = cset.evict_lru_of(io=False)
+        engine = llc.engine
+        cpu_limit = engine.ways - self.quota(flat)
+        if engine.cpu_count(flat) >= cpu_limit:
+            victim = engine.evict_lru_of(flat, io=False)
             if victim is not None:
                 return victim
-        if len(cset) >= cset.ways:
-            return cset.evict_lru()
+        if engine.size(flat) >= engine.ways:
+            return engine.evict_lru(flat)
         return None
 
     # ------------------------------------------------------------------
     # Presence accounting
     # ------------------------------------------------------------------
-    def after_fill(self, llc, flat: int, cset: CacheSet, now: int) -> None:
+    def after_fill(self, llc, flat: int, now: int) -> None:
         """Update the lazy I/O-presence clock after any set mutation."""
-        has_io = cset.io_count > 0
+        has_io = llc.engine.io_count(flat) > 0
         since = self._io_since.get(flat)
         if has_io and since is None:
             self._io_since[flat] = now
@@ -175,18 +181,18 @@ class AdaptivePartition:
     def _set_quota(self, llc, flat: int, new_quota: int) -> None:
         """Move the boundary, invalidating lines stranded on the wrong side."""
         self._quota[flat] = new_quota
-        cset = llc.sets[flat]
+        engine = llc.engine
         # Shrinking I/O partition: excess I/O lines leave (with writeback).
-        while cset.io_count > new_quota:
-            victim = cset.evict_lru_of(io=True)
+        while engine.io_count(flat) > new_quota:
+            victim = engine.evict_lru_of(flat, io=True)
             if victim is None:
                 break
             llc._retire(victim, by_io=True)
             self.stats.boundary_invalidations += 1
         # Growing it: excess CPU lines leave.
-        cpu_limit = cset.ways - new_quota
-        while cset.cpu_count > cpu_limit:
-            victim = cset.evict_lru_of(io=False)
+        cpu_limit = engine.ways - new_quota
+        while engine.cpu_count(flat) > cpu_limit:
+            victim = engine.evict_lru_of(flat, io=False)
             if victim is None:
                 break
             llc._retire(victim, by_io=False)

@@ -5,6 +5,15 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+import numpy as np
+
+#: Per-node free-list size at which the init shuffle switches from
+#: random.shuffle (bit-compatible with historical seeds) to a vectorised
+#: numpy permutation.  The boundary sits above every test-scale machine
+#: (scaled_down: 2^16 frames over 2 nodes) and below the bench-scale and
+#: default machines whose construction the Python shuffle dominated.
+_NUMPY_SHUFFLE_MIN_FRAMES = 100_000
+
 
 @dataclass
 class DramTraffic:
@@ -69,12 +78,26 @@ class PhysicalMemory:
         self.traffic = DramTraffic()
         self._frames_per_node = self.n_frames // numa_nodes
         # Per-node free lists, pre-shuffled so alloc_frame is O(1) swap-pop.
+        # Large pools use a numpy permutation seeded from the machine rng:
+        # a Fisher-Yates over a million frames in pure Python used to
+        # dominate Machine construction (and every fig6-style experiment
+        # that builds one machine per trial).  Placement stays a
+        # deterministic function of the seed either way; small pools keep
+        # the original random.shuffle so existing seeded placements (and
+        # everything downstream of them) are bit-identical where the
+        # shuffle cost is negligible anyway.
         self._free_lists: list[list[int]] = []
         for node in range(numa_nodes):
             lo = node * self._frames_per_node
             hi = self.n_frames if node == numa_nodes - 1 else lo + self._frames_per_node
-            frames = list(range(lo, hi))
-            self._rng.shuffle(frames)
+            if hi - lo >= _NUMPY_SHUFFLE_MIN_FRAMES:
+                perm = np.random.default_rng(self._rng.getrandbits(64)).permutation(
+                    hi - lo
+                )
+                frames = (perm + lo).tolist()
+            else:
+                frames = list(range(lo, hi))
+                self._rng.shuffle(frames)
             self._free_lists.append(frames)
         self._free_set: set[int] = set(range(self.n_frames))
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 #: Default bucket upper edges (inclusive) for probe-latency histograms, in
 #: CPU cycles.  Spans the hit/miss split of the simulated timing model.
 PROBE_LATENCY_BUCKETS = (25, 50, 75, 100, 150, 200, 300, 500, 1000, 2000)
@@ -77,6 +79,30 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+
+    def observe_many(self, values) -> None:
+        """Batched :meth:`observe` — same final state, one numpy pass.
+
+        ``value <= edge`` bucketing matches the scalar loop exactly:
+        ``searchsorted(side="left")`` returns the first edge >= value, and
+        index ``len(buckets)`` is the implicit overflow bucket.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            return
+        idx = np.searchsorted(np.asarray(self.buckets), arr, side="left")
+        binned = np.bincount(idx, minlength=len(self.buckets) + 1)
+        for i, n in enumerate(binned):
+            if n:
+                self.counts[i] += int(n)
+        self.sum += float(arr.sum())
+        self.count += arr.size
+        lo = float(arr.min())
+        hi = float(arr.max())
+        if self.min is None or lo < self.min:
+            self.min = lo
+        if self.max is None or hi > self.max:
+            self.max = hi
 
     @property
     def mean(self) -> float:
