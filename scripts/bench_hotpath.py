@@ -1,25 +1,8 @@
 #!/usr/bin/env python
-"""Benchmark the simulation hot path and gate against a committed baseline.
+"""Thin wrapper around :mod:`repro.bench` (kept for CI and muscle memory).
 
-Measures, on the bench-scale machine (256 monitored sets x 12 ways):
-
-* ``probe_sweep_ms``      — one timed PRIME+PROBE sweep through the packed
-  engine (one batched machine call per sweep);
-* ``fast_sweep_ms``       — the aggregate-latency (one fence per set) sweep;
-* ``legacy_sweep_ms``     — the same timed sweep replayed per-line through
-  the frozen :class:`~repro.cache.legacy.LegacySlicedLLC`, i.e. the
-  pre-refactor cost of exactly the same accesses;
-* ``machine_init_ms`` / ``legacy_llc_init_ms`` — LLC construction cost
-  (the engine allocates three numpy arrays; the legacy model 16384 dicts);
-* ``fig6_seconds``        — end-to-end ``repro run fig6`` (100 driver
-  inits through the sharded runner, serial).
-
-The headline number is ``sweep_speedup`` = legacy / engine sweep time:
-a *ratio of two measurements from the same run*, so it is comparable
-across machines and CI runners.  ``--check BASELINE.json`` fails (exit 1)
-when the current ratio falls more than ``--tolerance`` (default 20%)
-below the committed baseline's — i.e. when the engine sweep got slower
-relative to the unchanging legacy reference.
+The benchmark suite lives in the package so ``repro bench`` can run it;
+see ``repro.bench`` for what is measured and how the gate works.
 
 Usage::
 
@@ -29,187 +12,34 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
 import sys
-import time
+from pathlib import Path
 
-from repro.attack.evictionset import EvictionSet
-from repro.attack.primeprobe import ProbeMonitor
-from repro.attack.timing import LatencyThreshold
-from repro.cache.legacy import LegacySlicedLLC
-from repro.core.config import MachineConfig
-from repro.core.machine import Machine
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
-N_SETS = 256
-HUGE_PAGES = 24
+from repro.bench import (  # noqa: E402  (path setup first)
+    bench_engine_sweeps,
+    bench_fig6,
+    bench_init,
+    bench_legacy_sweep,
+    bench_rx,
+    build_monitor,
+    main,
+    run_benchmarks,
+)
 
-
-def build_monitor(machine: Machine) -> ProbeMonitor:
-    """Eviction sets covering ``N_SETS`` LLC sets at full associativity."""
-    spy = machine.new_process("spy")
-    base = spy.mmap_huge(HUGE_PAGES)
-    llc = machine.llc
-    hit = llc.timing.llc_hit_latency + llc.timing.measure_overhead
-    miss = llc.timing.llc_miss_latency + llc.timing.measure_overhead
-    threshold = LatencyThreshold(
-        hit_mean=hit, miss_mean=miss, threshold=(hit + miss) / 2
-    )
-    ways = llc.geometry.ways
-    page = 2 * 1024 * 1024
-    by_set: dict[int, list[int]] = {}
-    for off in range(0, HUGE_PAGES * page, llc.geometry.line_size):
-        vaddr = base + off
-        flat = llc.flat_set_of(spy.addrspace.translate(vaddr))
-        by_set.setdefault(flat, []).append(vaddr)
-    flats = [f for f, vs in by_set.items() if len(vs) >= ways][:N_SETS]
-    if len(flats) < N_SETS:
-        raise SystemExit(f"only {len(flats)} full sets found; raise HUGE_PAGES")
-    sets = [
-        EvictionSet(spy, by_set[f][:ways], threshold, set_index=f) for f in flats
-    ]
-    monitor = ProbeMonitor(spy, sets)
-    monitor.prime()
-    monitor.probe_once()  # settle into the steady all-hit state
-    monitor.probe_once()
-    return monitor
-
-
-def bench_engine_sweeps(monitor: ProbeMonitor, rounds: int) -> tuple[float, float]:
-    t0 = time.perf_counter()
-    for _ in range(rounds):
-        monitor.probe_once()
-    sweep_ms = (time.perf_counter() - t0) / rounds * 1e3
-    monitor.sample(2, fast_probe=True)
-    t0 = time.perf_counter()
-    monitor.sample(rounds, fast_probe=True)
-    fast_ms = (time.perf_counter() - t0) / rounds * 1e3
-    return sweep_ms, fast_ms
-
-
-def bench_legacy_sweep(machine: Machine, monitor: ProbeMonitor, rounds: int) -> float:
-    """The identical timed sweep, one Python call per line, legacy model."""
-    llc = LegacySlicedLLC(
-        geometry=machine.config.cache,
-        ddio=machine.config.ddio,
-        timing=machine.config.timing,
-    )
-    traversals = [
-        [int(p) for p in es.probe_order_paddrs()] for es in monitor.sets
-    ]
-    thresholds = [es.threshold for es in monitor.sets]
-    for traversal in traversals:  # prime
-        for paddr in traversal:
-            llc.cpu_access(paddr)
-    overhead = llc.timing.measure_overhead
-    t0 = time.perf_counter()
-    for _ in range(rounds):
-        for traversal, threshold in zip(traversals, thresholds):
-            misses = 0
-            for paddr in traversal:
-                _hit, latency = llc.cpu_access(paddr)
-                if threshold.is_miss(latency + overhead):
-                    misses += 1
-            traversal.reverse()
-    return (time.perf_counter() - t0) / rounds * 1e3
-
-
-def bench_init(config: MachineConfig, rounds: int = 3) -> tuple[float, float]:
-    t0 = time.perf_counter()
-    for _ in range(rounds):
-        Machine(config)
-    machine_ms = (time.perf_counter() - t0) / rounds * 1e3
-    t0 = time.perf_counter()
-    for _ in range(rounds):
-        LegacySlicedLLC(geometry=config.cache, ddio=config.ddio, timing=config.timing)
-    legacy_ms = (time.perf_counter() - t0) / rounds * 1e3
-    return machine_ms, legacy_ms
-
-
-def bench_fig6() -> float:
-    from repro.experiments.mapping import run_fig6
-
-    t0 = time.perf_counter()
-    run_fig6(instances=100, config=MachineConfig().bench_scale())
-    return time.perf_counter() - t0
-
-
-def run_benchmarks(rounds: int, skip_fig6: bool) -> dict:
-    config = MachineConfig().bench_scale()
-    machine = Machine(config)
-    monitor = build_monitor(machine)
-    n_accesses = sum(len(es) for es in monitor.sets)
-    sweep_ms, fast_ms = bench_engine_sweeps(monitor, rounds)
-    legacy_ms = bench_legacy_sweep(machine, monitor, rounds)
-    machine_init_ms, legacy_llc_init_ms = bench_init(config)
-    result = {
-        "bench": "probe-sweep hot path (engine vs legacy)",
-        "geometry": {
-            "monitored_sets": len(monitor.sets),
-            "ways": machine.llc.geometry.ways,
-            "accesses_per_sweep": n_accesses,
-        },
-        "rounds": rounds,
-        "probe_sweep_ms": round(sweep_ms, 4),
-        "probe_sweep_us_per_access": round(sweep_ms * 1e3 / n_accesses, 4),
-        "fast_sweep_ms": round(fast_ms, 4),
-        "legacy_sweep_ms": round(legacy_ms, 4),
-        "sweep_speedup": round(legacy_ms / sweep_ms, 2),
-        "machine_init_ms": round(machine_init_ms, 2),
-        "legacy_llc_init_ms": round(legacy_llc_init_ms, 2),
-        "platform": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-        },
-    }
-    if not skip_fig6:
-        result["fig6_seconds"] = round(bench_fig6(), 2)
-    return result
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", help="write results to this JSON file")
-    parser.add_argument(
-        "--check", help="compare against a committed baseline JSON; exit 1 on regression"
-    )
-    parser.add_argument("--rounds", type=int, default=50)
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.20,
-        help="allowed relative drop in sweep_speedup vs the baseline",
-    )
-    parser.add_argument(
-        "--skip-fig6", action="store_true", help="skip the end-to-end fig6 timing"
-    )
-    args = parser.parse_args()
-
-    result = run_benchmarks(args.rounds, args.skip_fig6)
-    print(json.dumps(result, indent=2))
-    if args.out:
-        with open(args.out, "w") as fh:
-            json.dump(result, fh, indent=2)
-            fh.write("\n")
-        print(f"wrote {args.out}")
-
-    if args.check:
-        with open(args.check) as fh:
-            baseline = json.load(fh)
-        current = result["sweep_speedup"]
-        committed = baseline["sweep_speedup"]
-        floor = committed * (1.0 - args.tolerance)
-        print(
-            f"regression gate: sweep_speedup {current:.2f} vs committed "
-            f"{committed:.2f} (floor {floor:.2f})"
-        )
-        if current < floor:
-            print("FAIL: probe sweep slowed by more than the tolerance", file=sys.stderr)
-            return 1
-        print("OK")
-    return 0
-
+__all__ = [
+    "bench_engine_sweeps",
+    "bench_fig6",
+    "bench_init",
+    "bench_legacy_sweep",
+    "bench_rx",
+    "build_monitor",
+    "main",
+    "run_benchmarks",
+]
 
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -1,0 +1,326 @@
+"""Hot-path benchmarks and the regression gate (``repro bench``).
+
+Measures, on the bench-scale machine (256 monitored sets x 12 ways):
+
+* ``probe_sweep_ms``      — one timed PRIME+PROBE sweep through the packed
+  engine (one batched machine call per sweep);
+* ``fast_sweep_ms``       — the aggregate-latency (one fence per set) sweep;
+* ``legacy_sweep_ms``     — the same timed sweep replayed per-line through
+  the frozen :class:`~repro.cache.legacy.LegacySlicedLLC`, i.e. the
+  pre-refactor cost of exactly the same accesses;
+* ``rx_frames_per_s`` / ``legacy_rx_frames_per_s`` — the batched rx
+  datapath (burst drains handing whole frame groups to one vectorised
+  engine call) vs the frozen scalar one (:mod:`repro.nic.legacy`),
+  delivering an identical MTU-heavy frame mix through the event queue;
+  ``rx_direct_*`` isolates the per-frame ``nic.deliver`` template path;
+* ``machine_init_ms`` / ``legacy_llc_init_ms`` — LLC construction cost
+  (the engine allocates three numpy arrays; the legacy model 16384 dicts);
+* ``fig6_seconds``        — end-to-end ``repro run fig6`` (100 driver
+  inits through the sharded runner, serial).
+
+The headline numbers are ``sweep_speedup`` = legacy / engine sweep time
+and ``rx_speedup`` = legacy / batched rx datapath time: *ratios of two
+measurements from the same run*, so they are comparable across machines
+and CI runners.  ``--check BASELINE.json`` fails (exit 1) when a current
+ratio falls more than ``--tolerance`` (default 20%) below the committed
+baseline's — i.e. when a hot path got slower relative to its unchanging
+legacy reference.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.cli bench --out BENCH_hotpath.json
+    PYTHONPATH=src python scripts/bench_hotpath.py --check BENCH_hotpath.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+
+from repro.attack.evictionset import EvictionSet
+from repro.attack.primeprobe import ProbeMonitor
+from repro.attack.timing import LatencyThreshold
+from repro.cache.legacy import LegacySlicedLLC
+from repro.core.config import MachineConfig
+from repro.core.machine import Machine
+
+N_SETS = 256
+HUGE_PAGES = 24
+
+#: MTU-heavy rx benchmark mix (size, protocol) — mostly full frames on the
+#: fragment/flip path, some copies and broadcast discards, like a loaded
+#: receive queue during the paper's web-fingerprinting runs.
+_RX_MIX_SEED = 7
+_RX_SIZES = [1514, 1514, 1514, 1514, 1200, 1024, 512, 256, 128, 64]
+
+
+def build_monitor(machine: Machine) -> ProbeMonitor:
+    """Eviction sets covering ``N_SETS`` LLC sets at full associativity."""
+    spy = machine.new_process("spy")
+    base = spy.mmap_huge(HUGE_PAGES)
+    llc = machine.llc
+    hit = llc.timing.llc_hit_latency + llc.timing.measure_overhead
+    miss = llc.timing.llc_miss_latency + llc.timing.measure_overhead
+    threshold = LatencyThreshold(
+        hit_mean=hit, miss_mean=miss, threshold=(hit + miss) / 2
+    )
+    ways = llc.geometry.ways
+    page = 2 * 1024 * 1024
+    by_set: dict[int, list[int]] = {}
+    for off in range(0, HUGE_PAGES * page, llc.geometry.line_size):
+        vaddr = base + off
+        flat = llc.flat_set_of(spy.addrspace.translate(vaddr))
+        by_set.setdefault(flat, []).append(vaddr)
+    flats = [f for f, vs in by_set.items() if len(vs) >= ways][:N_SETS]
+    if len(flats) < N_SETS:
+        raise SystemExit(f"only {len(flats)} full sets found; raise HUGE_PAGES")
+    sets = [
+        EvictionSet(spy, by_set[f][:ways], threshold, set_index=f) for f in flats
+    ]
+    monitor = ProbeMonitor(spy, sets)
+    monitor.prime()
+    monitor.probe_once()  # settle into the steady all-hit state
+    monitor.probe_once()
+    return monitor
+
+
+def bench_engine_sweeps(monitor: ProbeMonitor, rounds: int) -> tuple[float, float]:
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        monitor.probe_once()
+    sweep_ms = (time.perf_counter() - t0) / rounds * 1e3
+    monitor.sample(2, fast_probe=True)
+    t0 = time.perf_counter()
+    monitor.sample(rounds, fast_probe=True)
+    fast_ms = (time.perf_counter() - t0) / rounds * 1e3
+    return sweep_ms, fast_ms
+
+
+def bench_legacy_sweep(machine: Machine, monitor: ProbeMonitor, rounds: int) -> float:
+    """The identical timed sweep, one Python call per line, legacy model."""
+    llc = LegacySlicedLLC(
+        geometry=machine.config.cache,
+        ddio=machine.config.ddio,
+        timing=machine.config.timing,
+    )
+    traversals = [
+        [int(p) for p in es.probe_order_paddrs()] for es in monitor.sets
+    ]
+    thresholds = [es.threshold for es in monitor.sets]
+    for traversal in traversals:  # prime
+        for paddr in traversal:
+            llc.cpu_access(paddr)
+    overhead = llc.timing.measure_overhead
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for traversal, threshold in zip(traversals, thresholds):
+            misses = 0
+            for paddr in traversal:
+                _hit, latency = llc.cpu_access(paddr)
+                if threshold.is_miss(latency + overhead):
+                    misses += 1
+            traversal.reverse()
+    return (time.perf_counter() - t0) / rounds * 1e3
+
+
+def _rx_frames(n_frames: int):
+    """The deterministic benchmark frame mix (identical for both sides)."""
+    from repro.net.packet import Frame
+
+    rng = random.Random(_RX_MIX_SEED)
+    frames = []
+    for _ in range(n_frames):
+        size = rng.choice(_RX_SIZES)
+        proto = "broadcast" if rng.random() < 0.2 else "tcp"
+        frames.append(Frame(size=size, protocol=proto))
+    return frames
+
+
+def _bench_rx_direct(legacy: bool, n_frames: int) -> float:
+    """Seconds to push ``n_frames`` straight through ``nic.deliver``."""
+    machine = Machine(MachineConfig().bench_scale())
+    machine.install_nic(legacy=legacy)
+    deliver = machine.nic.deliver
+    warmup = _rx_frames(n_frames // 10)
+    for frame in warmup:
+        deliver(frame)
+    frames = _rx_frames(n_frames)
+    t0 = time.perf_counter()
+    for frame in frames:
+        deliver(frame)
+    return time.perf_counter() - t0
+
+
+def _bench_rx_stream(legacy: bool, n_frames: int) -> float:
+    """Seconds to deliver ``n_frames`` through the event queue (paced
+    stream + idle loop), exercising burst drains on the batched side."""
+    from repro.net.traffic import PatternStream
+
+    machine = Machine(MachineConfig().bench_scale())
+    machine.install_nic(legacy=legacy)
+    machine.allow_bursts = not legacy
+    sizes = [frame.size for frame in _rx_frames(n_frames)]
+    source = PatternStream(sizes, rate_pps=1e6, protocol="tcp")
+    t0 = time.perf_counter()
+    source.attach(machine, machine.nic)
+    machine.drain_events()
+    elapsed = time.perf_counter() - t0
+    if source.sent != n_frames:
+        raise SystemExit(f"rx stream bench delivered {source.sent}/{n_frames}")
+    return elapsed
+
+
+def bench_rx(n_frames: int) -> dict:
+    """Batched-vs-legacy rx datapath throughput (frames per wall second).
+
+    The headline ``rx_speedup`` compares the full datapath both sides
+    actually run — traffic source through the event queue into the NIC —
+    which is where the cross-frame burst batching operates (a drained
+    window hands ``Nic.deliver_burst`` whole frame groups).  The
+    ``rx_direct_*`` secondaries push frames one at a time through
+    ``nic.deliver``, isolating the per-frame template path where
+    cross-frame vectorisation cannot apply.
+    """
+    legacy_direct_s = _bench_rx_direct(True, n_frames)
+    batched_direct_s = _bench_rx_direct(False, n_frames)
+    legacy_s = _bench_rx_stream(True, n_frames)
+    batched_s = _bench_rx_stream(False, n_frames)
+    return {
+        "rx_frames": n_frames,
+        "rx_frames_per_s": round(n_frames / batched_s),
+        "legacy_rx_frames_per_s": round(n_frames / legacy_s),
+        "rx_speedup": round(legacy_s / batched_s, 2),
+        "rx_direct_frames_per_s": round(n_frames / batched_direct_s),
+        "legacy_rx_direct_frames_per_s": round(n_frames / legacy_direct_s),
+        "rx_direct_speedup": round(legacy_direct_s / batched_direct_s, 2),
+    }
+
+
+def bench_init(config: MachineConfig, rounds: int = 3) -> tuple[float, float]:
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        Machine(config)
+    machine_ms = (time.perf_counter() - t0) / rounds * 1e3
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        LegacySlicedLLC(geometry=config.cache, ddio=config.ddio, timing=config.timing)
+    legacy_ms = (time.perf_counter() - t0) / rounds * 1e3
+    return machine_ms, legacy_ms
+
+
+def bench_fig6() -> float:
+    from repro.experiments.mapping import run_fig6
+
+    t0 = time.perf_counter()
+    run_fig6(instances=100, config=MachineConfig().bench_scale())
+    return time.perf_counter() - t0
+
+
+def run_benchmarks(rounds: int, skip_fig6: bool, rx_frames: int = 4000) -> dict:
+    config = MachineConfig().bench_scale()
+    machine = Machine(config)
+    monitor = build_monitor(machine)
+    n_accesses = sum(len(es) for es in monitor.sets)
+    sweep_ms, fast_ms = bench_engine_sweeps(monitor, rounds)
+    legacy_ms = bench_legacy_sweep(machine, monitor, rounds)
+    machine_init_ms, legacy_llc_init_ms = bench_init(config)
+    result = {
+        "bench": "probe-sweep + rx datapath hot paths (engine vs legacy)",
+        "geometry": {
+            "monitored_sets": len(monitor.sets),
+            "ways": machine.llc.geometry.ways,
+            "accesses_per_sweep": n_accesses,
+        },
+        "rounds": rounds,
+        "probe_sweep_ms": round(sweep_ms, 4),
+        "probe_sweep_us_per_access": round(sweep_ms * 1e3 / n_accesses, 4),
+        "fast_sweep_ms": round(fast_ms, 4),
+        "legacy_sweep_ms": round(legacy_ms, 4),
+        "sweep_speedup": round(legacy_ms / sweep_ms, 2),
+        "machine_init_ms": round(machine_init_ms, 2),
+        "legacy_llc_init_ms": round(legacy_llc_init_ms, 2),
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    result.update(bench_rx(rx_frames))
+    if not skip_fig6:
+        result["fig6_seconds"] = round(bench_fig6(), 2)
+    return result
+
+
+#: Ratio metrics gated by ``--check``: each must stay within tolerance of
+#: the committed baseline (ratios transfer across runners; absolutes don't).
+GATED_RATIOS = ("sweep_speedup", "rx_speedup")
+
+
+def check_against(result: dict, baseline: dict, tolerance: float) -> int:
+    """Gate current ratio metrics against a committed baseline; 0 = pass."""
+    status = 0
+    for key in GATED_RATIOS:
+        current = result[key]
+        committed = baseline.get(key)
+        if committed is None:
+            print(f"regression gate: {key} absent from baseline, skipped")
+            continue
+        floor = committed * (1.0 - tolerance)
+        print(
+            f"regression gate: {key} {current:.2f} vs committed "
+            f"{committed:.2f} (floor {floor:.2f})"
+        )
+        if current < floor:
+            print(
+                f"FAIL: {key} regressed by more than the tolerance",
+                file=sys.stderr,
+            )
+            status = 1
+    if status == 0:
+        print("OK")
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench", description=__doc__.split("\n\n")[0]
+    )
+    parser.add_argument("--out", help="write results to this JSON file")
+    parser.add_argument(
+        "--check", help="compare against a committed baseline JSON; exit 1 on regression"
+    )
+    parser.add_argument("--rounds", type=int, default=50)
+    parser.add_argument(
+        "--rx-frames", type=int, default=4000, help="frames per rx benchmark side"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed relative drop in a gated ratio vs the baseline",
+    )
+    parser.add_argument(
+        "--skip-fig6", action="store_true", help="skip the end-to-end fig6 timing"
+    )
+    args = parser.parse_args(argv)
+
+    result = run_benchmarks(args.rounds, args.skip_fig6, rx_frames=args.rx_frames)
+    print(json.dumps(result, indent=2))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        return check_against(result, baseline, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -256,6 +256,298 @@ class CacheEngine:
         eq = rows == lines[:, None]
         return eq.any(axis=1), eq.argmax(axis=1)
 
+    def io_fill_many(
+        self, flats: np.ndarray, lines: np.ndarray, io_cap: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vanilla-DDIO bulk fill of one line per set (``flats`` unique).
+
+        Performs, for every ``(flat, line)`` pair, exactly what the scalar
+        DDIO sequence does: a resident line is converted to a dirty I/O
+        line and stamped MRU (``mark_io``); a non-resident line is inserted
+        as ``LINE_IO | LINE_DIRTY``, evicting the set's LRU I/O line when
+        the set already holds ``io_cap`` I/O lines, or the overall LRU line
+        when the set is full.  Stamps are assigned in array order from the
+        shared tick counter — each access consumes one tick and evictions
+        consume none, so the batch is tick-for-tick identical to the
+        sequential loop.
+
+        ``flats`` must not contain duplicates: victim selection reads a
+        snapshot of the rows, so two fills into the same set would not see
+        each other.  Callers (``SlicedLLC.io_write_many``) fall back to the
+        scalar path in that case.
+
+        Returns ``(resident, evicted_lines, evicted_flags)``: a bool mask
+        of accesses that were mark-io hits, and per-access evicted line
+        address (``-1`` where nothing was evicted) with its flags.
+        """
+        k = len(flats)
+        empty = np.zeros(0, dtype=np.int64)
+        if not k:
+            return np.zeros(0, dtype=bool), empty, empty
+        ways = self.ways
+        tag_rows = self.tags2[flats]
+        flag_rows = self.flags2[flats]
+        stamp_rows = self.stamps2[flats]
+        eq = tag_rows == lines[:, None]
+        resident = eq.any(axis=1)
+        res_way = eq.argmax(axis=1)
+        io_rows = (flag_rows & LINE_IO) != 0
+        occupied = tag_rows != -1
+        big = np.iinfo(np.int64).max
+        io_counts = io_rows.sum(axis=1)
+        # evict_lru_of(io=True) is a no-op on a set with no I/O lines, so
+        # "at cap" only triggers an eviction when there is one to evict.
+        at_cap = (io_counts >= io_cap) & (io_counts > 0)
+        sizes = occupied.sum(axis=1)
+        full = sizes >= ways
+        victim_io = np.where(io_rows, stamp_rows, big).argmin(axis=1)
+        victim_any = np.where(occupied, stamp_rows, big).argmin(axis=1)
+        # First free way: empty slots hold -1, the row minimum.  When an
+        # io-cap eviction happens in a non-full set, the scalar insert scans
+        # for the first empty slot — which may precede the victim's.
+        free_way = tag_rows.argmin(axis=1)
+        way = np.where(
+            resident,
+            res_way,
+            np.where(
+                at_cap,
+                np.where(full, victim_io, np.minimum(free_way, victim_io)),
+                np.where(full, victim_any, free_way),
+            ),
+        )
+        evict = ~resident & (at_cap | full)
+        rows = np.arange(k)
+        evict_way = np.where(at_cap, victim_io, victim_any)
+        evicted_lines = np.where(evict, tag_rows[rows, evict_way], -1)
+        evicted_flags = np.where(evict, flag_rows[rows, evict_way], 0)
+        idx = flats * ways + way
+        # Clear the evicted slots first: the victim slot differs from the
+        # placement slot when the set had an earlier free way.
+        ev_idx = flats[evict] * ways + evict_way[evict]
+        self.tags[ev_idx] = -1
+        self.flags[ev_idx] = 0
+        self.stamps[ev_idx] = 0
+        self.tags[idx] = lines
+        # The only flag bits are IO and DIRTY, and the fill sets both — for
+        # a resident line this equals ``old | IO | DIRTY``, i.e. mark_io.
+        self.flags[idx] = LINE_IO | LINE_DIRTY
+        t0 = self._tick + 1
+        self._tick += k
+        self.stamps[idx] = np.arange(t0, t0 + k, dtype=np.int64)
+        # Directory and per-set counter bookkeeping (scalar, but tiny).
+        span = self._line_span
+        size_l = self._size
+        n_io_l = self._n_io
+        directory = self._dir
+        was_io = io_rows[rows, res_way]
+        for i, (flat, line, is_res) in enumerate(
+            zip(flats.tolist(), lines.tolist(), resident.tolist())
+        ):
+            if is_res:
+                if not was_io[i]:
+                    n_io_l[flat] += 1
+                continue
+            ev = int(evicted_lines[i])
+            if ev != -1:
+                del directory[flat * span + ev]
+                size_l[flat] -= 1
+                if evicted_flags[i] & LINE_IO:
+                    n_io_l[flat] -= 1
+            directory[flat * span + line] = int(way[i])
+            size_l[flat] += 1
+            n_io_l[flat] += 1
+        return resident, evicted_lines, evicted_flags
+
+    def rx_burst_apply(
+        self,
+        flats: np.ndarray,
+        lines: np.ndarray,
+        kinds: np.ndarray,
+        stamp_offs: np.ndarray,
+        total_ops: int,
+        io_cap: int,
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None, np.ndarray | None]:
+        """Apply a multi-frame rx burst's cache-op stream in rounds.
+
+        The caller (the NIC's drained-burst path) has already flattened a
+        sequence of received frames into one ordered stream of *footprint*
+        ops — ``kinds`` 0 = DMA fill, 1 = CPU read, 2 = CPU write — where
+        the driver's re-touches of lines its own frame just filled are
+        *folded away*: they can never miss, so only their tick positions
+        matter, and ``stamp_offs[i]`` carries the 0-based position of the
+        **last** op on that line within the burst's ``total_ops`` ticks.
+        Replaying the stream sequentially would therefore leave line ``i``
+        stamped ``tick + 1 + stamp_offs[i]``.
+
+        Per-set state is independent across sets and the only
+        order-sensitive decisions (victim selection) are confined to one
+        set, so the stream is applied in *rounds by within-set rank*: round
+        ``r`` takes each set's ``r``-th op in temporal order.  Within a
+        round every set appears at most once, which makes the vectorised
+        hit/insert logic of :meth:`io_fill_many` exact against the live
+        arrays — and since a round's stamps/tags land before the next
+        round's gather, cross-op effects inside a set (a fill evicting a
+        line a later op re-misses on, a second fill of the same line
+        becoming a mark-io hit) resolve exactly as the sequential loop
+        would.  Structural misses under the DDIO way cap make multi-miss
+        sets the *common* case at line rate, so the kernel is total: it
+        never declines.
+
+        One op per set per round relies on the op stream listing same-set
+        ops in ascending position order, which the NIC's burst layout
+        guarantees (a frame's buffer lines occupy consecutive sets, skb
+        ops follow every folded final, frames are appended in arrival
+        order) — a stable sort on ``flats`` alone therefore yields the
+        temporal rank.
+
+        Returns ``(hit, evict_pos, evicted_lines, evicted_flags)``:
+        per-op residency at its point in the stream (not pre-burst
+        residency — a line inserted by an earlier op and re-accessed
+        counts as the hit the sequential loop would see), plus the ops
+        that evicted (``evict_pos`` indexes into the op arrays; all three
+        are ``None`` when nothing was evicted).
+        """
+        ways = self.ways
+        n = len(flats)
+        t0 = self._tick
+        base_stamp = t0 + 1
+        # Rank ops within their set.  Sets referenced once (the vast
+        # majority) need no ordering at all; only the duplicate subset is
+        # stable-sorted, which is far cheaper than sorting the full burst.
+        counts = np.bincount(flats, minlength=self.n_sets)
+        dup_mask = counts[flats] > 1
+        if dup_mask.any():
+            dup_idx = np.flatnonzero(dup_mask)
+            sorder = np.argsort(flats[dup_idx], kind="stable")
+            sordered = dup_idx[sorder]
+            sflats = flats[sordered]
+            m = len(sordered)
+            seq = np.arange(m)
+            firsts = np.empty(m, dtype=bool)
+            firsts[:1] = True
+            firsts[1:] = sflats[1:] != sflats[:-1]
+            rank_sub = seq - np.maximum.accumulate(np.where(firsts, seq, 0))
+            n_rounds = int(rank_sub.max()) + 1
+            rounds = [
+                np.concatenate([np.flatnonzero(~dup_mask), sordered[firsts]])
+            ]
+            for r in range(1, n_rounds):
+                rounds.append(sordered[rank_sub == r])
+        else:
+            rounds = [None]
+        hit_all = np.empty(n, dtype=bool)
+        ev_pos_parts: list[np.ndarray] = []
+        ev_lines_parts: list[np.ndarray] = []
+        ev_flags_parts: list[np.ndarray] = []
+        big = np.iinfo(np.int64).max
+        span = self._line_span
+        directory = self._dir
+        size_l = self._size
+        n_io_l = self._n_io
+        for sel in rounds:
+            if sel is None:
+                f, l, k = flats, lines, kinds
+            else:
+                f = flats[sel]
+                l = lines[sel]
+                k = kinds[sel]
+            tag_rows = self.tags2[f]
+            eq = tag_rows == l[:, None]
+            way = eq.argmax(axis=1)
+            # argmax returns 0 for an all-False row; one 1-D gather
+            # distinguishes hits (cheaper than a row-wise ``any``).
+            hit = tag_rows[np.arange(len(f)), way] == l
+            if sel is None:
+                hit_all = hit
+            else:
+                hit_all[sel] = hit
+            if not hit.all():
+                m_idx = np.flatnonzero(~hit)
+                mflats = f[m_idx]
+                mkinds = k[m_idx]
+                trows = tag_rows[m_idx]
+                frows = self.flags2[mflats]
+                srows = self.stamps2[mflats]
+                io_rows = (frows & LINE_IO) != 0
+                occupied = trows != -1
+                io_counts = io_rows.sum(axis=1)
+                full = occupied.sum(axis=1) >= ways
+                is_fill = mkinds == 0
+                at_cap = is_fill & (io_counts >= io_cap) & (io_counts > 0)
+                victim_io = np.where(io_rows, srows, big).argmin(axis=1)
+                victim_any = np.where(occupied, srows, big).argmin(axis=1)
+                free_way = trows.argmin(axis=1)
+                way_m = np.where(
+                    at_cap,
+                    np.where(full, victim_io, np.minimum(free_way, victim_io)),
+                    np.where(full, victim_any, free_way),
+                )
+                evict = at_cap | full
+                rows_m = np.arange(len(m_idx))
+                evict_way = np.where(at_cap, victim_io, victim_any)
+                e_lines = np.where(evict, trows[rows_m, evict_way], -1)
+                e_flags = np.where(evict, frows[rows_m, evict_way], 0)
+                ev_sel = np.flatnonzero(evict)
+                ev_slots = mflats[ev_sel] * ways + evict_way[ev_sel]
+                self.tags[ev_slots] = -1
+                self.flags[ev_slots] = 0
+                self.stamps[ev_slots] = 0
+                ev_io = (e_flags & LINE_IO) != 0
+                for flat, line, evl, eio, w, isf in zip(
+                    mflats.tolist(),
+                    l[m_idx].tolist(),
+                    e_lines.tolist(),
+                    ev_io.tolist(),
+                    way_m.tolist(),
+                    is_fill.tolist(),
+                ):
+                    if evl != -1:
+                        del directory[flat * span + evl]
+                        size_l[flat] -= 1
+                        if eio:
+                            n_io_l[flat] -= 1
+                    directory[flat * span + line] = w
+                    size_l[flat] += 1
+                    if isf:
+                        n_io_l[flat] += 1
+                way[m_idx] = way_m
+                if len(ev_sel):
+                    ev_pos_parts.append(
+                        m_idx[ev_sel] if sel is None else sel[m_idx[ev_sel]]
+                    )
+                    ev_lines_parts.append(e_lines[ev_sel])
+                    ev_flags_parts.append(e_flags[ev_sel])
+            idx = f * ways + way
+            # A fill converts a resident CPU line to I/O (mark_io);
+            # within a round each set — hence each line — appears once,
+            # and later rounds re-read the flags, so no dedup is needed.
+            rf_idx = idx[hit & (k == 0)]
+            not_io = (self.flags[rf_idx] & LINE_IO) == 0
+            if not_io.any():
+                for slot in rf_idx[not_io].tolist():
+                    n_io_l[slot // ways] += 1
+            # Fills OR in IO|DIRTY, writes OR in DIRTY; reads leave flags
+            # untouched.  Freshly inserted slots were cleared, so the OR
+            # lands exactly the scalar insert's flags there too.
+            nonread = k != 1
+            nr_idx = idx[nonread]
+            bits = np.where(
+                k[nonread] == 0, LINE_IO | LINE_DIRTY, LINE_DIRTY
+            ).astype(np.uint8)
+            self.flags[nr_idx] = self.flags[nr_idx] | bits
+            self.tags[idx] = l
+            offs = stamp_offs if sel is None else stamp_offs[sel]
+            self.stamps[idx] = offs + base_stamp
+        self._tick = t0 + total_ops
+        if ev_pos_parts:
+            return (
+                hit_all,
+                np.concatenate(ev_pos_parts),
+                np.concatenate(ev_lines_parts),
+                np.concatenate(ev_flags_parts),
+            )
+        return hit_all, None, None, None
+
     def touch_many(
         self,
         flats: np.ndarray,

@@ -336,6 +336,156 @@ class SlicedLLC:
             self._retire(engine.evict_lru(flat), by_io=True)
         engine.insert(flat, line, LINE_IO | LINE_DIRTY)
 
+    def io_write_many(
+        self,
+        paddrs: np.ndarray,
+        now: int = 0,
+        decomp: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        """Batched :meth:`io_write`: one inbound-DMA burst, one engine call.
+
+        Semantically a loop of ``io_write`` over ``paddrs`` in order.  The
+        vectorised kernel (:meth:`CacheEngine.io_fill_many`) requires that
+        no two writes land in the same set and that victim selection stays
+        with the vanilla DDIO policy, so the call falls back to the exact
+        scalar loop whenever a partition or an eviction hook is installed,
+        or the batch contains duplicate sets.  The NIC's per-frame bursts
+        (consecutive lines of one rx buffer) always map to distinct sets,
+        so in practice the fallback only triggers under the defense.
+
+        ``decomp`` optionally carries the caller's cached ``(flats,
+        lines)`` decomposition of ``paddrs``.
+        """
+        n = len(paddrs)
+        if n == 0:
+            return
+        if self.partition is not None or self.evict_hook is not None:
+            for paddr in paddrs:
+                self.io_write(int(paddr), now=now)
+            return
+        flats, lines = decomp if decomp is not None else self.decompose_many(paddrs)
+        engine = self.engine
+        if not self.ddio.enabled:
+            # Direct to DRAM; snoop-invalidate any cached copies.
+            self.traffic.writes += n
+            hit, _ways = engine.lookup_many(flats, lines)
+            # A line can repeat within the batch: the lookup is a pre-state
+            # snapshot, so count only invalidations that actually happen.
+            for i in np.flatnonzero(hit):
+                if engine.invalidate(int(flats[i]), int(lines[i])) is not None:
+                    self.stats.invalidations += 1
+            return
+        if self.ddio.write_allocate_ways < 1:
+            # Degenerate cap: the scalar path's cap-eviction becomes a
+            # no-op on io-free sets and its full-set insert evicts without
+            # retirement accounting — semantics the kernel does not model.
+            for paddr in paddrs:
+                self.io_write(int(paddr), now=now)
+            return
+        if len(np.unique(flats)) != n:
+            for paddr in paddrs:
+                self.io_write(int(paddr), now=now)
+            return
+        resident, evicted_lines, evicted_flags = engine.io_fill_many(
+            flats, lines, self.ddio.write_allocate_ways
+        )
+        n_hits = int(resident.sum())
+        n_fills = n - n_hits
+        self.stats.io_hits += n_hits
+        if not n_fills:
+            return
+        self.stats.io_fills += n_fills
+        if self.io_fill_hook is not None:
+            for flat in flats[~resident].tolist():
+                self.io_fill_hook(flat)
+        if self.telemetry is not None:
+            self.telemetry.on_dma_fill(n_fills)
+        # Retire the evicted lines (all evicted by I/O fills).
+        evicted = np.flatnonzero(evicted_lines != -1)
+        if not len(evicted):
+            return
+        ev_flags = evicted_flags[evicted]
+        dirty = int((ev_flags & LINE_DIRTY != 0).sum())
+        self.stats.writebacks += dirty
+        self.traffic.writes += dirty
+        victims_io = (ev_flags & LINE_IO) != 0
+        self.stats.io_evicted_io += int(victims_io.sum())
+        n_cpu = int(len(evicted) - victims_io.sum())
+        if n_cpu:
+            self.stats.io_evicted_cpu += n_cpu
+            if self.telemetry is not None:
+                for i in evicted[~victims_io].tolist():
+                    self.telemetry.on_io_evict_cpu(int(evicted_lines[i]))
+
+    def rx_burst(
+        self,
+        flats: np.ndarray,
+        lines: np.ndarray,
+        kinds: np.ndarray,
+        stamp_offs: np.ndarray,
+        total_ops: int,
+        folded_hits: int,
+    ) -> bool:
+        """Apply a multi-frame rx burst's cache-op stream in one engine call.
+
+        The NIC's drained-burst path (:meth:`repro.nic.nic.Nic.
+        deliver_burst`) hands over the flattened footprint-op stream of
+        many back-to-back frames — see :meth:`CacheEngine.rx_burst_apply`
+        for the encoding and the round-by-rank application.
+        ``folded_hits`` counts the driver re-touches of same-frame fills
+        that were folded into ``stamp_offs`` (guaranteed hits, attributed
+        here).
+
+        Returns False — with no state touched — when the vanilla-DDIO
+        kernel cannot represent the machine's policy (partition, hooks,
+        DDIO off, degenerate cap); the caller then replays the frames
+        through the scalar-equivalent per-frame path.
+        """
+        if (
+            not self.ddio.enabled
+            or self.ddio.write_allocate_ways < 1
+            or self.partition is not None
+            or self.evict_hook is not None
+            or self.io_fill_hook is not None
+        ):
+            return False
+        pre_res, ev_pos, ev_lines, ev_flags = self.engine.rx_burst_apply(
+            flats, lines, kinds, stamp_offs, total_ops, self.ddio.write_allocate_ways
+        )
+        stats = self.stats
+        fills = kinds == 0
+        n_fill = int(fills.sum())
+        n_fill_hits = int((pre_res & fills).sum())
+        n_fills_new = n_fill - n_fill_hits
+        n_cpu_ops = len(kinds) - n_fill
+        n_cpu_hits = int((pre_res & ~fills).sum())
+        n_cpu_miss = n_cpu_ops - n_cpu_hits
+        stats.io_hits += n_fill_hits
+        stats.io_fills += n_fills_new
+        stats.cpu_hits += folded_hits + n_cpu_hits
+        if n_cpu_miss:
+            stats.cpu_misses += n_cpu_miss
+            self.traffic.reads += n_cpu_miss
+        if n_fills_new and self.telemetry is not None:
+            self.telemetry.on_dma_fill(n_fills_new)
+        if ev_pos is None:
+            return True
+        dirty = int((ev_flags & LINE_DIRTY != 0).sum())
+        stats.writebacks += dirty
+        self.traffic.writes += dirty
+        victims_io = (ev_flags & LINE_IO) != 0
+        by_io = kinds[ev_pos] == 0
+        stats.io_evicted_io += int((by_io & victims_io).sum())
+        io_cpu = by_io & ~victims_io
+        n_io_cpu = int(io_cpu.sum())
+        if n_io_cpu:
+            stats.io_evicted_cpu += n_io_cpu
+            if self.telemetry is not None:
+                for line in ev_lines[io_cpu].tolist():
+                    self.telemetry.on_io_evict_cpu(int(line))
+        stats.cpu_evicted_io += int((~by_io & victims_io).sum())
+        return True
+
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.counters import CounterStats
+
 
 @dataclass
-class CacheStats:
+class CacheStats(CounterStats):
     """Aggregate counters for one cache level.
 
     ``io_evicted_cpu`` counts the events at the heart of the vulnerability:
@@ -35,44 +37,8 @@ class CacheStats:
         total = self.cpu_accesses
         return self.cpu_misses / total if total else 0.0
 
-    def reset(self) -> None:
-        for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
-
-    def snapshot(self) -> dict[str, int]:
-        """Plain-dict copy of all counters."""
-        return {name: getattr(self, name) for name in self.__dataclass_fields__}
-
-    @classmethod
-    def from_snapshot(cls, snap: dict[str, int]) -> "CacheStats":
-        """Rebuild a stats object from a :meth:`snapshot` dict."""
-        return cls(**{name: snap.get(name, 0) for name in cls.__dataclass_fields__})
-
-    def merge(self, other: "CacheStats | dict") -> "CacheStats":
-        """Add another stats object (or snapshot dict) into this one.
-
-        Used to combine per-shard / per-phase counters; returns ``self``
-        so merges chain.
-        """
-        get = other.get if isinstance(other, dict) else lambda n, _d=0: getattr(other, n)
-        for name in self.__dataclass_fields__:
-            setattr(self, name, getattr(self, name) + get(name, 0))
-        return self
-
-    def delta(self, since: "CacheStats | dict") -> "CacheStats":
-        """Counters accumulated since an earlier snapshot, as a new object.
-
-        The measurement-window idiom every workload and telemetry phase
-        uses: snapshot before, ``delta`` after, read derived rates off the
-        returned object (e.g. ``.miss_rate``).
-        """
-        base = since if isinstance(since, dict) else since.snapshot()
-        return CacheStats(
-            **{
-                name: getattr(self, name) - base.get(name, 0)
-                for name in self.__dataclass_fields__
-            }
-        )
+    # reset / snapshot / from_snapshot / merge / delta come from
+    # CounterStats; NicStats and DriverStats share the same machinery.
 
 
 @dataclass

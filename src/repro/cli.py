@@ -8,6 +8,8 @@ Usage::
     python -m repro all --jobs 8        # everything, parallel, cached
     python -m repro all --force         # ignore cached results and re-run
     python -m repro table1 --paper-scale
+    python -m repro bench --skip-fig6   # hot-path benchmarks + gate
+                                        # (see repro.bench for options)
 
 Each experiment runs at the scaled machine size by default (seconds to a
 couple of minutes); ``--paper-scale`` switches to the paper's full set
@@ -530,6 +532,15 @@ def _write_telemetry(
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        # The benchmark suite has its own option surface (see repro.bench);
+        # dispatch before experiment parsing so `repro bench --check ...`
+        # does not collide with experiment flags.
+        from repro.bench import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "trace":
         if args.target is None:

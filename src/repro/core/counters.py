@@ -1,0 +1,57 @@
+"""Reusable merge/delta machinery for flat counter dataclasses.
+
+Several subsystems expose a dataclass of integer counters (cache stats,
+NIC DMA stats, driver receive stats) and all need the same four
+operations for sharded runs and measurement windows: ``snapshot`` /
+``from_snapshot`` to cross a process boundary, ``merge`` to reduce
+per-shard counters, and ``delta`` for the snapshot-before / delta-after
+idiom.  :class:`CounterStats` implements them once over
+``__dataclass_fields__`` so each stats dataclass only declares its
+fields.
+"""
+
+from __future__ import annotations
+
+
+class CounterStats:
+    """Mixin for ``@dataclass`` counter bags (all fields integer-valued)."""
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict copy of all counters."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    @classmethod
+    def from_snapshot(cls, snap: dict[str, int]):
+        """Rebuild a stats object from a :meth:`snapshot` dict."""
+        return cls(**{name: snap.get(name, 0) for name in cls.__dataclass_fields__})
+
+    def merge(self, other):
+        """Add another stats object (or snapshot dict) into this one.
+
+        Used to combine per-shard / per-phase counters; returns ``self``
+        so merges chain.
+        """
+        get = other.get if isinstance(other, dict) else lambda n, _d=0: getattr(other, n)
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + get(name, 0))
+        return self
+
+    def delta(self, since):
+        """Counters accumulated since an earlier snapshot, as a new object.
+
+        The measurement-window idiom every workload and telemetry phase
+        uses: snapshot before, ``delta`` after, read derived rates off the
+        returned object.
+        """
+        base = since if isinstance(since, dict) else since.snapshot()
+        return type(self)(
+            **{
+                name: getattr(self, name) - base.get(name, 0)
+                for name in self.__dataclass_fields__
+            }
+        )

@@ -39,6 +39,15 @@ class Event:
     action: Callable[[], Any] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Optional burst handler: ``drain(event, limit)`` may process the
+    #: event *and* any amount of follow-on work of the same actor up to
+    #: simulated time ``limit`` (``None`` = unbounded), provided nothing
+    #: observable could interleave.  Only the Machine's event loop invokes
+    #: it (see :meth:`repro.core.machine.Machine.idle`); ``run_due`` always
+    #: takes the scalar ``action`` path.
+    drain: "Callable[[Event, int | None], Any] | None" = field(
+        default=None, compare=False, repr=False
+    )
     _queue: "EventQueue | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
@@ -69,12 +78,27 @@ class EventQueue:
     def __len__(self) -> int:
         return self._live
 
-    def schedule(self, time: int, action: Callable[[], Any], label: str = "") -> Event:
-        """Schedule ``action`` to run at absolute cycle ``time``."""
+    def schedule(
+        self,
+        time: int,
+        action: Callable[[], Any],
+        label: str = "",
+        drain: "Callable[[Event, int | None], Any] | None" = None,
+    ) -> Event:
+        """Schedule ``action`` to run at absolute cycle ``time``.
+
+        ``drain`` optionally marks the event burst-capable (see
+        :class:`Event`); scalar execution via ``run_due`` is unaffected.
+        """
         if time < 0:
             raise ValueError(f"cannot schedule event in negative time: {time}")
         event = Event(
-            time=time, seq=next(self._counter), action=action, label=label, _queue=self
+            time=time,
+            seq=next(self._counter),
+            action=action,
+            label=label,
+            drain=drain,
+            _queue=self,
         )
         heapq.heappush(self._heap, event)
         self._live += 1
@@ -98,6 +122,22 @@ class EventQueue:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
+
+    def peek_head(self) -> Event | None:
+        """The earliest pending live event, still queued, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    def pop_head(self) -> Event | None:
+        """Remove and return the earliest pending live event (no firing)."""
+        head = self.peek_head()
+        if head is None:
+            return None
+        heapq.heappop(self._heap)
+        head._queue = None
+        self._live -= 1
+        return head
 
     def run_due(self, now: int) -> int:
         """Fire every pending event with ``time <= now``; return count fired.

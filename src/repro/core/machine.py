@@ -149,6 +149,13 @@ class Machine:
         if self.telemetry is not None:
             self.llc.telemetry = self.telemetry
             self.events.tracer = self.telemetry.tracer
+        #: When True (default), the idle/drain event loops may hand a
+        #: burst-capable event (``Event.drain``) a whole window of
+        #: simulated time — the traffic sources use this to deliver frame
+        #: bursts without one heap round-trip per frame.  Set False to
+        #: force the scalar per-event path (the differential harness does,
+        #: to pin burst-vs-scalar equivalence).
+        self.allow_bursts = True
         #: Seeded fault injection (None when cfg.faults is all-zero, in
         #: which case no fault machinery exists and behaviour is
         #: bit-identical to a pre-faults build).
@@ -170,15 +177,28 @@ class Machine:
         shared_page_prob: float = 0.0,
         log_receives: bool = False,
         node: int = 0,
+        legacy: bool = False,
     ):
-        """Create and wire the rx ring, IGB driver and NIC; returns the NIC."""
+        """Create and wire the rx ring, IGB driver and NIC; returns the NIC.
+
+        ``legacy=True`` installs the frozen scalar datapath from
+        :mod:`repro.nic.legacy` instead — reference side of the rx
+        differential harness and benchmark only.
+        """
         # Imported here to keep core free of a package cycle.
-        from repro.nic.driver import IgbDriver
-        from repro.nic.nic import Nic
+        from repro.nic.nic import RxTemplates
         from repro.nic.ring import RxRing
+
+        if legacy:
+            from repro.nic.legacy import LegacyIgbDriver as driver_cls
+            from repro.nic.legacy import LegacyNic as nic_cls
+        else:
+            from repro.nic.driver import IgbDriver as driver_cls
+            from repro.nic.nic import Nic as nic_cls
 
         if self.nic is not None:
             raise RuntimeError("NIC already installed")
+        self._nic_legacy = legacy
 
         def build_ring() -> RxRing:
             return RxRing(
@@ -204,15 +224,28 @@ class Machine:
                 self.ring = build_ring()
         else:
             self.ring = build_ring()
-        self.driver = IgbDriver(
-            self,
-            self.ring,
-            config=self.config.ring,
-            shared_page_prob=shared_page_prob,
-            log_receives=log_receives,
-            rng=random.Random(self.config.seed + 3),
-        )
-        self.nic = Nic(self, self.ring, self.driver)
+        if legacy:
+            self.driver = driver_cls(
+                self,
+                self.ring,
+                config=self.config.ring,
+                shared_page_prob=shared_page_prob,
+                log_receives=log_receives,
+                rng=random.Random(self.config.seed + 3),
+            )
+            self.nic = nic_cls(self, self.ring, self.driver)
+        else:
+            templates = RxTemplates(self.llc, self.config.ring.buffer_size)
+            self.driver = driver_cls(
+                self,
+                self.ring,
+                config=self.config.ring,
+                shared_page_prob=shared_page_prob,
+                log_receives=log_receives,
+                rng=random.Random(self.config.seed + 3),
+                templates=templates,
+            )
+            self.nic = nic_cls(self, self.ring, self.driver, templates=templates)
         return self.nic
 
     def restart_networking(self) -> None:
@@ -225,7 +258,11 @@ class Machine:
         log = self.driver.log_receives
         shared = self.driver.shared_page_prob
         self.nic = None
-        self.install_nic(shared_page_prob=shared, log_receives=log)
+        self.install_nic(
+            shared_page_prob=shared,
+            log_receives=log,
+            legacy=getattr(self, "_nic_legacy", False),
+        )
 
     def new_process(self, name: str) -> Process:
         """Create a CPU process on this machine."""
@@ -312,15 +349,47 @@ class Machine:
     # ------------------------------------------------------------------
     # Time control
     # ------------------------------------------------------------------
+    def _run_pending(self, target: int | None) -> None:
+        """Fire all pending events up to ``target`` (``None`` = all of them).
+
+        Burst fast path: when the head event is burst-capable
+        (``Event.drain`` set, e.g. a traffic source's next-frame event) and
+        nothing else is pending before it would matter, the whole window up
+        to the next foreign event is handed to the drain handler in one
+        call — the traffic source then delivers frames back-to-back without
+        one heap round-trip per frame.  The window stops one cycle short of
+        the next pending event so ties and same-cycle orderings are decided
+        by the heap exactly as in the scalar path.  With tracing enabled
+        (per-event instants are observable) or ``allow_bursts`` off, every
+        event takes the scalar ``run_due`` path.
+        """
+        events = self.events
+        clock = self.clock
+        tracer = events.tracer
+        bursts = self.allow_bursts and (tracer is None or not tracer.enabled)
+        while True:
+            head = events.peek_head()
+            if head is None or (target is not None and head.time > target):
+                return
+            if bursts and head.drain is not None:
+                events.pop_head()
+                clock.advance_to(head.time)
+                nxt = events.peek_time()
+                if nxt is None:
+                    limit = target
+                elif target is None:
+                    limit = nxt - 1
+                else:
+                    limit = min(target, nxt - 1)
+                head.drain(head, limit)
+            else:
+                clock.advance_to(head.time)
+                events.run_due(clock.now)
+
     def idle(self, cycles: int) -> None:
         """Let simulated time pass (the driving actor waits), firing events."""
         target = self.clock.now + cycles
-        while True:
-            next_time = self.events.peek_time()
-            if next_time is None or next_time > target:
-                break
-            self.clock.advance_to(next_time)
-            self.events.run_due(self.clock.now)
+        self._run_pending(target)
         self.clock.advance_to(target)
 
     def run_events_until(self, target: int) -> None:
@@ -329,4 +398,4 @@ class Machine:
 
     def drain_events(self) -> None:
         """Run every remaining event, advancing the clock as needed."""
-        self.events.run_until_empty(self.clock)
+        self._run_pending(None)

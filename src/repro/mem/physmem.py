@@ -99,7 +99,13 @@ class PhysicalMemory:
                 frames = list(range(lo, hi))
                 self._rng.shuffle(frames)
             self._free_lists.append(frames)
-        self._free_set: set[int] = set(range(self.n_frames))
+        # Free/allocated state as a bitmap rather than a set of frame
+        # numbers: building set(range(n_frames)) dominated Machine
+        # construction at bench scale (a million-entry set per instance for
+        # fig6-style one-machine-per-trial experiments), while the bitmap is
+        # a single allocation and every membership test stays O(1).
+        self._free = np.ones(self.n_frames, dtype=bool)
+        self._n_free = self.n_frames
 
     def node_of_frame(self, frame: int) -> int:
         """NUMA node that owns physical frame ``frame``."""
@@ -120,8 +126,9 @@ class PhysicalMemory:
             idx = self._rng.randrange(len(free))
             free[idx], free[-1] = free[-1], free[idx]
             frame = free.pop()
-            if frame in self._free_set:
-                self._free_set.discard(frame)
+            if self._free[frame]:
+                self._free[frame] = False
+                self._n_free -= 1
                 return frame
         raise MemoryError(f"out of physical frames on node {node}")
 
@@ -159,9 +166,9 @@ class PhysicalMemory:
             raise MemoryError(f"no contiguous run of {count} frames available")
 
         def claim(start: int) -> bool:
-            if all((start + i) in self._free_set for i in range(count)):
-                for i in range(count):
-                    self._free_set.discard(start + i)
+            if self._free[start : start + count].all():
+                self._free[start : start + count] = False
+                self._n_free -= count
                 return True
             return False
 
@@ -181,15 +188,16 @@ class PhysicalMemory:
         """Return a frame to the free pool."""
         if not 0 <= frame < self.n_frames:
             raise ValueError(f"frame {frame} out of range")
-        if frame in self._free_set:
+        if self._free[frame]:
             raise ValueError(f"double free of frame {frame}")
-        self._free_set.add(frame)
+        self._free[frame] = True
+        self._n_free += 1
         self._free_lists[self.node_of_frame(frame)].append(frame)
 
     @property
     def free_frames(self) -> int:
         """Number of unallocated frames."""
-        return len(self._free_set)
+        return self._n_free
 
     def frame_addr(self, frame: int) -> int:
         """Physical address of the start of ``frame``."""

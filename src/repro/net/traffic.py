@@ -8,6 +8,17 @@ covert channel's 1953 symbols/s ceiling in Section IV).
 
 Sources self-reschedule one event at a time, so arbitrarily long streams
 cost O(1) queue space.
+
+Frame events are *burst-capable*: when the machine's event loop finds one
+at the head of the queue with no other event pending before it would
+matter, it hands the source the whole window up to the next foreign event
+(see ``Machine._run_pending``) and :meth:`TrafficSource._drain` delivers
+frames back-to-back — one heap round-trip per *burst* instead of per
+frame.  The drain bails back to per-event scheduling whenever the
+interleaving could be observable: injected faults, DDIO off (receives go
+through the event queue), or an active cache partition.  Each frame is
+still delivered at exactly the cycle and in exactly the iterator/RNG
+order of the scalar path, which ``tests/test_rx_equivalence.py`` pins.
 """
 
 from __future__ import annotations
@@ -20,8 +31,22 @@ from repro.core.config import LinkConfig
 from repro.net.packet import Frame
 
 
+#: Frames per ``Nic.deliver_burst`` call when a drain batches: bounds
+#: working memory and keeps each vectorised engine call comfortably
+#: inside cache-friendly array sizes.
+_BATCH_MAX = 128
+
+
 class TrafficSource(ABC):
     """Base class: generates frames and schedules them onto a machine."""
+
+    #: Whether :meth:`_frames` is pure with respect to simulation state: it
+    #: must not read machine/cache/ring state and must not share an RNG
+    #: with any machine component.  All built-in sources qualify.  A pure
+    #: iterator may be drawn a batch ahead of the deliveries during a
+    #: burst drain; subclasses whose generators observe the simulation
+    #: must set this False to keep draw-vs-delivery interleaving scalar.
+    pure_frames = True
 
     def __init__(self, link: LinkConfig | None = None) -> None:
         self.link = link or LinkConfig()
@@ -29,6 +54,7 @@ class TrafficSource(ABC):
         self._machine = None
         self._nic = None
         self._stopped = False
+        self._pending: Frame | None = None
 
     @abstractmethod
     def _frames(self) -> Iterator[tuple[float, Frame]]:
@@ -68,14 +94,98 @@ class TrafficSource(ABC):
         # The frame cannot arrive faster than the wire can carry it.
         gap_s = max(gap_s, self.link.frame_time_seconds(frame.size))
         at = max(earliest + clock.cycles(gap_s), clock.now)
+        self._pending = frame
+        self._machine.events.schedule(
+            at, self._fire, label=f"frame#{frame.frame_id}", drain=self._drain
+        )
 
-        def deliver() -> None:
-            frame.sent_time = self._machine.clock.now
-            self._nic.deliver(frame)
-            self.sent += 1
-            self._schedule_next(self._machine.clock.now)
+    def _deliver_pending(self) -> None:
+        frame = self._pending
+        self._pending = None
+        frame.sent_time = self._machine.clock.now
+        self._nic.deliver(frame)
+        self.sent += 1
 
-        self._machine.events.schedule(at, deliver, label=f"frame#{frame.frame_id}")
+    def _fire(self) -> None:
+        """Scalar event action: deliver one frame, schedule the next."""
+        self._deliver_pending()
+        self._schedule_next(self._machine.clock.now)
+
+    def _burstable(self) -> bool:
+        """True when back-to-back delivery cannot change observable state.
+
+        Faults may drop/stall/jitter per frame; with DDIO off the driver
+        receive and payload touches go through the event queue (so frames
+        must interleave with them through the heap); a cache partition is
+        an intervening actor the harness pins via the scalar path.
+        """
+        machine = self._machine
+        llc = machine.llc
+        return (
+            machine.faults is None
+            and llc.ddio.enabled
+            and llc.partition is None
+        )
+
+    def _drain(self, event, limit: int | None) -> None:
+        """Burst handler: deliver frames back-to-back until ``limit``.
+
+        Invoked by the machine's event loop in place of ``_fire`` with the
+        clock already advanced to the event time.  Each iteration delivers
+        the pending frame at ``clock.now``, draws the next from the
+        iterator at the same simulated instant the scalar path would
+        (keeping shared-RNG draw order identical), and either keeps
+        going — advancing the clock directly — or falls back to a
+        scheduled event when the burst window closes or conditions make
+        interleaving observable.
+
+        When the source iterator is pure (:attr:`pure_frames`) and the NIC
+        supports it, deliveries are additionally *batched*: frames are
+        collected with their arrival cycles and handed to
+        ``Nic.deliver_burst`` in groups, which vectorises the cache work
+        of the whole group across frames.  Batch state is bit-identical to
+        the per-frame drain (pinned by ``tests/test_rx_equivalence.py``).
+        """
+        machine = self._machine
+        clock = machine.clock
+        events = machine.events
+        nic = self._nic
+        burstable = self._burstable()
+        deliver_burst = getattr(nic, "deliver_burst", None) if burstable else None
+        batch = (
+            []
+            if deliver_burst is not None and self.pure_frames and nic.can_batch()
+            else None
+        )
+        while True:
+            if batch is None:
+                self._deliver_pending()
+            else:
+                frame = self._pending
+                self._pending = None
+                frame.sent_time = clock.now
+                batch.append((clock.now, frame))
+                self.sent += 1
+                if len(batch) >= _BATCH_MAX:
+                    deliver_burst(batch)
+                    batch = []
+            if self._stopped:
+                break
+            try:
+                gap_s, frame = next(self._iter)
+            except StopIteration:
+                break
+            gap_s = max(gap_s, self.link.frame_time_seconds(frame.size))
+            at = max(clock.now + clock.cycles(gap_s), clock.now)
+            self._pending = frame
+            if not burstable or (limit is not None and at > limit):
+                events.schedule(
+                    at, self._fire, label=f"frame#{frame.frame_id}", drain=self._drain
+                )
+                break
+            clock.advance_to(at)
+        if batch:
+            deliver_burst(batch)
 
 
 class ConstantStream(TrafficSource):

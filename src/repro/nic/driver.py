@@ -20,6 +20,14 @@ Receive-path behaviour reproduced here:
 * **Broadcast/unknown protocol**: discarded right after the header check —
   no skb, no flip — yet the payload already sits in the LLC if DDIO wrote
   it there, which is what makes the covert channel stealthy.
+
+Since the rx-datapath refactor each of those touch sequences is a slice of
+a precomputed per-buffer block template (:class:`repro.nic.nic.
+RxTemplates`) issued through one batched :meth:`~repro.cache.llc.
+SlicedLLC.access_many` call, and the skb slab writes ride a precomputed
+decomposition of the recycled slab region.  The scalar original is frozen
+in :mod:`repro.nic.legacy` and pinned bit-identical by
+``tests/test_rx_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -27,14 +35,21 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.config import RingConfig
+from repro.core.counters import CounterStats
 from repro.net.packet import Frame
 from repro.nic.ring import RxBuffer, RxRing
 
 
 @dataclass
-class DriverStats:
-    """Receive-path counters."""
+class DriverStats(CounterStats):
+    """Receive-path counters.
+
+    ``merge``/``delta``/``snapshot`` come from :class:`CounterStats`, so
+    per-shard rx counters reduce the same way :class:`CacheStats` does.
+    """
 
     frames: int = 0
     discarded: int = 0
@@ -69,6 +84,7 @@ class IgbDriver:
         shared_page_prob: float = 0.0,
         log_receives: bool = False,
         rng: random.Random | None = None,
+        templates=None,
     ) -> None:
         self.machine = machine
         self.ring = ring
@@ -82,10 +98,33 @@ class IgbDriver:
         #: Optional randomization defense (see repro.defense.randomization).
         self.randomizer = None
         self._line = machine.llc.geometry.line_size
+        #: Shared per-buffer block templates (set by Machine.install_nic to
+        #: the same object the NIC uses; built lazily when constructed bare).
+        if templates is None:
+            from repro.nic.nic import RxTemplates
+
+            templates = RxTemplates(machine.llc, self.config.buffer_size)
+        self.templates = templates
         # skb slab: a modest recycled kernel region the copy path writes to.
+        # The region is fixed at driver init, so its translation and cache
+        # decomposition are precomputed once and sliced per write.
         self._skb_region = machine.kernel.mmap(16)
         self._skb_cursor = 0
         self._skb_lines = 16 * machine.physmem.page_size // self._line
+        translate = machine.kernel.translate
+        line = self._line
+        region = self._skb_region
+        self._skb_paddrs = np.fromiter(
+            (translate(region + i * line) for i in range(self._skb_lines)),
+            np.int64,
+            count=self._skb_lines,
+        )
+        self._skb_flats, self._skb_line_ids = machine.llc.decompose_many(
+            self._skb_paddrs
+        )
+        # Footprint-op templates for the cross-frame burst path, keyed by
+        # (path, n_blocks); see _burst_template.
+        self._burst_tmpl: dict[tuple[int, int], tuple] = {}
 
     # ------------------------------------------------------------------
     # Receive path
@@ -125,12 +164,13 @@ class IgbDriver:
                     symbol=frame.symbol,
                 )
             )
-        # Header read + unconditional prefetch of the second block.
-        llc.cpu_access(base, now=now)
-        llc.cpu_access(base + self._line, now=now)
-
         if frame.is_broadcast():
-            # Unknown protocol: dropped before any skb is built.
+            # Unknown protocol: header read + unconditional prefetch of the
+            # second block, then dropped before any skb is built.  Two
+            # scalar accesses beat the batch setup cost on this (covert
+            # channel) hot path.
+            llc.cpu_access(base, now=now)
+            llc.cpu_access(base + self._line, now=now)
             self.stats.discarded += 1
             self._after_packet(buffer)
             return
@@ -142,13 +182,22 @@ class IgbDriver:
         self._after_packet(buffer)
 
     def _copy_small(self, frame: Frame, buffer: RxBuffer) -> None:
-        """memcpy path of igb_add_rx_frag: read frame, write into skb."""
+        """memcpy path of igb_add_rx_frag: read frame, write into skb.
+
+        One batched call issues the header+prefetch reads (blocks 0 and 1)
+        followed by the copy's read of every frame block — the exact scalar
+        sequence, duplicates included.
+        """
         llc = self.machine.llc
         now = self.machine.clock.now
-        base = buffer.dma_paddr
         n_blocks = frame.n_blocks(self._line)
-        for i in range(n_blocks):
-            llc.cpu_access(base + i * self._line, now=now)
+        paddrs, flats, lines = self.templates.decomp(buffer.dma_paddr)
+        seq = np.concatenate([paddrs[:2], paddrs[:n_blocks]])
+        decomp = (
+            np.concatenate([flats[:2], flats[:n_blocks]]),
+            np.concatenate([lines[:2], lines[:n_blocks]]),
+        )
+        llc.access_many(seq, now=now, decomp=decomp)
         self._skb_write(n_blocks)
         self.stats.copied += 1
         if buffer.node != self.local_node:
@@ -161,11 +210,18 @@ class IgbDriver:
         now = self.machine.clock.now
         base = buffer.dma_paddr
         n_blocks = frame.n_blocks(self._line)
+        paddrs, flats, lines = self.templates.decomp(base)
         if llc.ddio.enabled:
-            # Payload is already cache-resident; the stack reads it now.
-            for i in range(2, n_blocks):
-                llc.cpu_access(base + i * self._line, now=now)
+            # Header + prefetch + payload: blocks 0..n-1 in order (the
+            # payload is already cache-resident; the stack reads it now).
+            llc.access_many(
+                paddrs[:n_blocks],
+                now=now,
+                decomp=(flats[:n_blocks], lines[:n_blocks]),
+            )
         else:
+            # Header read + unconditional prefetch of the second block.
+            llc.access_many(paddrs[:2], now=now, decomp=(flats[:2], lines[:2]))
             # Without DDIO the stack touches the payload noticeably after
             # the header (Huggahalli et al.: < 20k cycles) — the lag that
             # makes size detection of large packets noisier (Section IV-d).
@@ -173,8 +229,12 @@ class IgbDriver:
 
             def touch_payload(base=base, n_blocks=n_blocks) -> None:
                 later = self.machine.clock.now
-                for i in range(2, n_blocks):
-                    llc.cpu_access(base + i * self._line, now=later)
+                p, f, ln = self.templates.decomp(base)
+                llc.access_many(
+                    p[2:n_blocks],
+                    now=later,
+                    decomp=(f[2:n_blocks], ln[2:n_blocks]),
+                )
 
             self.machine.events.schedule(now + delay, touch_payload, label="payload")
         self._skb_write(2)  # skb metadata only; payload stays in the page
@@ -219,10 +279,161 @@ class IgbDriver:
     def _skb_write(self, n_lines: int) -> None:
         """Write ``n_lines`` cache lines of skb data (recycled slab)."""
         llc = self.machine.llc
-        kernel = self.machine.kernel
         now = self.machine.clock.now
-        base_vaddr = self._skb_region
-        for _ in range(n_lines):
-            vaddr = base_vaddr + (self._skb_cursor % self._skb_lines) * self._line
-            llc.cpu_access(kernel.translate(vaddr), write=True, now=now)
-            self._skb_cursor += 1
+        cursor = self._skb_cursor
+        wrap = self._skb_lines
+        self._skb_cursor = cursor + n_lines
+        start = cursor % wrap
+        if start + n_lines <= wrap:
+            # Contiguous run: slice views, no fancy-index copies.
+            sl = slice(start, start + n_lines)
+            llc.access_many(
+                self._skb_paddrs[sl],
+                write=True,
+                now=now,
+                decomp=(self._skb_flats[sl], self._skb_line_ids[sl]),
+            )
+            return
+        idx = [(start + i) % wrap for i in range(n_lines)]
+        llc.access_many(
+            self._skb_paddrs[idx],
+            write=True,
+            now=now,
+            decomp=(self._skb_flats[idx], self._skb_line_ids[idx]),
+        )
+
+    # ------------------------------------------------------------------
+    # Cross-frame burst path (see Nic.deliver_burst)
+    # ------------------------------------------------------------------
+    _PATH_BCAST, _PATH_COPY, _PATH_FRAG = 0, 1, 2
+
+    def _burst_prep(
+        self, frame: Frame, buffer: RxBuffer, ring_slot: int, now: int
+    ) -> tuple[int, tuple[int, int], tuple[int, int]]:
+        """Phase-1 receive: all of :meth:`_receive`'s control flow — stats,
+        log, skb cursor, page flip/replace, randomizer — with the cache
+        touches deferred to the caller's burst.  None of these decisions
+        read cache state, so running them ahead of the deferred touches is
+        unobservable.  Returns ``(path, skb_a, skb_b)`` where the skb
+        slices are ``(start, stop)`` index ranges into the slab arrays
+        (the second non-empty only when the cursor wraps).
+        """
+        self.stats.frames += 1
+        if self.log_receives:
+            self.receive_log.append(
+                ReceiveRecord(
+                    time=now,
+                    ring_slot=ring_slot,
+                    page_paddr=buffer.page_paddr,
+                    dma_paddr=buffer.dma_paddr,
+                    n_blocks=frame.n_blocks(self._line),
+                    size=frame.size,
+                    symbol=frame.symbol,
+                )
+            )
+        if frame.is_broadcast():
+            self.stats.discarded += 1
+            self._after_packet(buffer)
+            return self._PATH_BCAST, (0, 0), (0, 0)
+        if frame.size <= self.config.copy_threshold:
+            path = self._PATH_COPY
+            skb_n = frame.n_blocks(self._line)
+            self.stats.copied += 1
+        else:
+            path = self._PATH_FRAG
+            skb_n = 2
+            self.stats.fragged += 1
+        cursor = self._skb_cursor
+        wrap = self._skb_lines
+        self._skb_cursor = cursor + skb_n
+        start = cursor % wrap
+        end = start + skb_n
+        if end <= wrap:
+            skb_a, skb_b = (start, end), (0, 0)
+        else:
+            skb_a, skb_b = (start, wrap), (0, end - wrap)
+        if path == self._PATH_COPY:
+            if buffer.node != self.local_node:
+                self._replace(buffer)
+        elif buffer.node != self.local_node or self.rng.random() < self.shared_page_prob:
+            self._replace(buffer)
+        else:
+            buffer.flip(self.config.buffer_size)
+            self.stats.page_flips += 1
+        self._after_packet(buffer)
+        return path, skb_a, skb_b
+
+    def _burst_template(self, path: int, n: int) -> tuple:
+        """Footprint-op template for one received frame: ``(kinds,
+        final_offs, span, folded_hits, buf_ops)``.
+
+        The frame's sequential cache-op stream is fills of blocks
+        ``0..n-1``, the driver's touch sequence, then the skb writes; each
+        op is one LRU tick.  Touches of blocks the same frame filled are
+        *folded*: they cannot miss, so only the line's last-touch position
+        survives, recorded in ``final_offs`` (op-order-parallel: ``buf_ops``
+        buffer ops — the fills plus, for one-block frames, the block-1
+        prefetch read that was NOT filled — then the skb writes).  ``span``
+        is the frame's total tick count and ``folded_hits`` the number of
+        folded guaranteed-hit touches.
+        """
+        key = (path, n)
+        tmpl = self._burst_tmpl.get(key)
+        if tmpl is not None:
+            return tmpl
+        if path == self._PATH_BCAST:
+            # fills 0..n-1, then reads of blocks 0 and 1.
+            if n == 1:
+                kinds = np.array([0, 1], dtype=np.uint8)
+                offs = np.array([1, 2], dtype=np.int64)
+                tmpl = (kinds, offs, 3, 1, 2)
+            else:
+                kinds = np.zeros(n, dtype=np.uint8)
+                offs = np.arange(n, dtype=np.int64)
+                offs[0] = n
+                offs[1] = n + 1
+                tmpl = (kinds, offs, n + 2, 2, n)
+        elif path == self._PATH_COPY:
+            # fills, reads [0, 1, 0..n-1], skb writes 0..n-1.
+            if n == 1:
+                kinds = np.array([0, 1, 2], dtype=np.uint8)
+                offs = np.array([3, 2, 4], dtype=np.int64)
+                tmpl = (kinds, offs, 5, 2, 2)
+            else:
+                kinds = np.concatenate(
+                    [np.zeros(n, dtype=np.uint8), np.full(n, 2, dtype=np.uint8)]
+                )
+                offs = np.concatenate(
+                    [
+                        n + 2 + np.arange(n, dtype=np.int64),
+                        2 * n + 2 + np.arange(n, dtype=np.int64),
+                    ]
+                )
+                tmpl = (kinds, offs, 3 * n + 2, n + 2, n)
+        else:
+            # fills, reads 0..n-1, two skb writes.
+            kinds = np.concatenate(
+                [np.zeros(n, dtype=np.uint8), np.full(2, 2, dtype=np.uint8)]
+            )
+            offs = np.concatenate(
+                [
+                    n + np.arange(n, dtype=np.int64),
+                    2 * n + np.arange(2, dtype=np.int64),
+                ]
+            )
+            tmpl = (kinds, offs, 2 * n + 2, n, n)
+        self._burst_tmpl[key] = tmpl
+        return tmpl
+
+    def _skb_replay(self, skb_a: tuple[int, int], skb_b: tuple[int, int]) -> None:
+        """Scalar-equivalent skb writes for a burst frame being replayed."""
+        llc = self.machine.llc
+        now = self.machine.clock.now
+        for a, b in (skb_a, skb_b):
+            if b > a:
+                llc.access_many(
+                    self._skb_paddrs[a:b],
+                    write=True,
+                    now=now,
+                    decomp=(self._skb_flats[a:b], self._skb_line_ids[a:b]),
+                )

@@ -41,10 +41,14 @@ class Telemetry:
         return self.tracer.enabled or self.metrics.enabled
 
     # -- convenience hooks used by the hot paths ----------------------
-    def on_dma_fill(self) -> None:
-        """One DDIO line allocated in the LLC by inbound DMA."""
+    def on_dma_fill(self, n: int = 1) -> None:
+        """``n`` DDIO lines allocated in the LLC by inbound DMA.
+
+        Batched DMA paths report a whole frame's fills in one call; the
+        counter value is identical to ``n`` scalar calls.
+        """
         if self.metrics.enabled:
-            self.metrics.counter("llc.dma_fills").inc()
+            self.metrics.counter("llc.dma_fills").inc(n)
 
     def on_io_evict_cpu(self, line: int) -> None:
         """An I/O fill displaced a CPU-origin line — the paper's signal."""

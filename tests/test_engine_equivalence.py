@@ -131,6 +131,55 @@ def test_batched_access_equivalence(ddio_enabled):
         assert_same_state(new, old)
 
 
+@pytest.mark.parametrize("ddio_enabled", [True, False])
+def test_batched_io_write_equivalence(ddio_enabled):
+    """io_write_many == a loop of io_write — the NIC's DMA burst kernel.
+
+    Mixes burst sizes (1..32 lines, the rx-buffer span), interleaves CPU
+    traffic so bursts hit resident lines, lines at the DDIO way cap, and
+    full sets, and checks stats + LRU state after every burst.
+    """
+    new, old = build_pair(ddio_enabled, False, ModuloSliceHash)
+    rng = random.Random(41 + ddio_enabled)
+    n_lines = GEOMETRY.total_sets * 3
+    for round_ in range(150):
+        for _ in range(rng.randrange(0, 20)):
+            paddr = rng.randrange(n_lines) * 64
+            w = rng.random() < 0.3
+            assert new.cpu_access(paddr, write=w) == old.cpu_access(paddr, write=w)
+        if rng.random() < 0.5:
+            # Contiguous run, distinct sets — the NIC's actual shape.
+            start = rng.randrange(n_lines - 32)
+            burst = [(start + k) * 64 for k in range(rng.randrange(1, 33))]
+        else:
+            # Adversarial: random lines, possibly duplicated in-burst.
+            burst = [rng.randrange(n_lines) * 64 for _ in range(rng.randrange(1, 33))]
+        paddrs = np.asarray(burst, dtype=np.int64)
+        new.io_write_many(paddrs)
+        for p in burst:
+            old.io_write(p)
+        assert_same_state(new, old)
+
+
+def test_batched_io_write_partition_fallback():
+    """With a partition installed io_write_many must fall back scalar."""
+    new, old = build_pair(True, True, ModuloSliceHash)
+    rng = random.Random(43)
+    n_lines = GEOMETRY.total_sets * 3
+    now = 0
+    for round_ in range(60):
+        now += rng.randrange(1, 50)
+        if round_ and round_ % 10 == 0:
+            new.partition.adapt(new, now)
+            old.partition.adapt(old, now)
+        burst = [rng.randrange(n_lines) * 64 for _ in range(rng.randrange(1, 33))]
+        paddrs = np.asarray(burst, dtype=np.int64)
+        new.io_write_many(paddrs, now=now)
+        for p in burst:
+            old.io_write(p, now=now)
+        assert_same_state(new, old)
+
+
 def test_batched_access_with_cached_decomp():
     """A caller-cached decomposition replays identically to fresh hashing."""
     new, old = build_pair(True, False, ModuloSliceHash)
