@@ -20,6 +20,7 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.bench import (  # noqa: E402  (path setup first)
+    bench_backend_overhead,
     bench_engine_sweeps,
     bench_fig6,
     bench_init,
@@ -31,6 +32,7 @@ from repro.bench import (  # noqa: E402  (path setup first)
 )
 
 __all__ = [
+    "bench_backend_overhead",
     "bench_engine_sweeps",
     "bench_fig6",
     "bench_init",

@@ -248,11 +248,19 @@ class EvictionSetBuilder:
     # ------------------------------------------------------------------
     def evicts(self, addrs: list[int], victim: int) -> bool:
         """Does traversing ``addrs`` evict ``victim``?  (access, traverse,
-        time the re-access)."""
+        time the re-access).
+
+        The traversal goes through one batched machine call — semantically
+        one :meth:`Process.access` per address, in order — because group
+        testing issues O(pool log pool) of these and the per-call Python
+        overhead dominated construction cost.
+        """
         process = self.process
         process.access(victim)
-        for addr in addrs:
-            process.access(addr)
+        if addrs:
+            process.access_many(
+                np.fromiter(addrs, np.int64, count=len(addrs))
+            )
         return self.threshold.is_miss(process.timed_access(victim))
 
     def reduce(self, pool: list[int], victim: int) -> list[int] | None:
@@ -336,6 +344,14 @@ class EvictionSetBuilder:
         confidence score (groups found / groups expected) and retry
         counts, so a noisy run degrades to a smaller monitor list instead
         of an exception.
+
+        Under a randomized index backend (``keyed``/``skewed`` — see
+        :mod:`repro.cache.backends`) the huge-page set-index bits no
+        longer predict placement, so a "set index" pool scatters over
+        many cache sets and most reductions fail: the same accounting
+        then reports the attacker's *degraded* reality (low confidence,
+        high ``failed_reductions``) rather than raising — exactly what
+        the ``randomized-cache`` experiment measures.
         """
         n_groups = n_groups or self.geometry.n_slices
         report = ClusterReport(set_index=set_index, expected=n_groups)
@@ -407,6 +423,11 @@ class OracleEvictionSetBuilder:
         self.base = process.mmap_huge(huge_pages)
         self._line = self.geometry.line_size
         self._index_span = self.geometry.sets_per_slice * self._line
+        #: vaddrs of every huge-page line bucketed by true flat set id,
+        #: rebuilt when the LLC's mapping epoch changes (a re-key moves
+        #: every line to a new set).
+        self._flat_groups_cache: dict[int, list[int]] | None = None
+        self._flat_groups_epoch = -1
 
     def groups_for_index(self, set_index: int) -> dict[int, EvictionSet]:
         """slice id -> eviction set, for one set index."""
@@ -442,6 +463,59 @@ class OracleEvictionSetBuilder:
                 f"not enough huge-page candidates for idx {set_index} "
                 f"slice {slice_id}; map more huge pages"
             ) from None
+
+    # ------------------------------------------------------------------
+    # Flat-set grouping (index-backend agnostic)
+    # ------------------------------------------------------------------
+    def _flat_groups(self) -> dict[int, list[int]]:
+        """vaddr buckets keyed by true flat set id over all huge pages.
+
+        :meth:`groups_for_index` assumes the modulo index function (set
+        bits of the address pick the set); under a randomized backend
+        that shortcut is wrong, so this path asks the mapping itself via
+        :meth:`~repro.cache.llc.SlicedLLC.decompose_many`.  The scan is
+        vectorised per huge page (physically contiguous) and cached
+        until the mapping's epoch changes.
+        """
+        epoch = self.llc.mapping_epoch
+        if self._flat_groups_cache is not None and self._flat_groups_epoch == epoch:
+            return self._flat_groups_cache
+        translate = self.process.addrspace.translate
+        lines_per_page = self.huge_page_bytes // self._line
+        offsets = np.arange(lines_per_page, dtype=np.int64) * self._line
+        by_flat: dict[int, list[int]] = defaultdict(list)
+        for page in range(self.n_huge_pages):
+            page_vaddr = self.base + page * self.huge_page_bytes
+            page_paddr = translate(page_vaddr)
+            flats, _lines = self.llc.decompose_many(page_paddr + offsets)
+            for off, flat in zip(offsets.tolist(), flats.tolist()):
+                by_flat[flat].append(page_vaddr + off)
+        self._flat_groups_cache = by_flat
+        self._flat_groups_epoch = epoch
+        return by_flat
+
+    def group_for_flat(self, flat: int, label: str = "") -> EvictionSet:
+        """The eviction set covering one flat set id, however it's mapped.
+
+        Works for every index backend — the grouping consults the live
+        mapping, not address bits — and is the monitor-placement oracle
+        the ``randomized-cache`` experiment uses for its sequence and
+        covert legs (construction *cost* is measured separately by the
+        timing-based builder).
+        """
+        addrs = self._flat_groups().get(flat, [])
+        if len(addrs) < self.ways:
+            raise RuntimeError(
+                f"not enough huge-page candidates for flat set {flat} "
+                f"({len(addrs)} < {self.ways}); map more huge pages"
+            )
+        return EvictionSet(
+            self.process,
+            addrs[: self.ways],
+            self.threshold,
+            set_index=None,
+            label=label or f"flat{flat}",
+        )
 
     def build_page_aligned_groups(
         self, block: int = 0, page_size: int = 4096

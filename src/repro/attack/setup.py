@@ -73,12 +73,26 @@ class MonitorFactory:
         self._line = machine.llc.geometry.line_size
 
     def eviction_set_for_paddr(self, paddr: int) -> EvictionSet:
-        """Attacker eviction set covering the cache set of ``paddr``."""
+        """Attacker eviction set covering the cache set of ``paddr``.
+
+        With the modulo index backend the cache set is named by
+        ``(set index, slice)`` and grouping can use address bits — the
+        historical path, kept bit-identical.  A randomized backend
+        (``keyed``/``skewed``) breaks that naming, so placement falls
+        back to the flat-set oracle grouping, keyed by mapping epoch
+        (a re-key moves every line, invalidating cached sets).
+        """
         llc = self.machine.llc
-        key = (llc.set_index_of(paddr), llc.slice_of(paddr))
+        if llc.mapping.index_transparent:
+            key = (llc.set_index_of(paddr), llc.slice_of(paddr))
+        else:
+            key = (llc.flat_set_of(paddr), -1 - llc.mapping_epoch)
         es = self._cache.get(key)
         if es is None:
-            es = self.builder.group_for(*key)
+            if llc.mapping.index_transparent:
+                es = self.builder.group_for(*key)
+            else:
+                es = self.builder.group_for_flat(key[0])
             self._cache[key] = es
         return es
 

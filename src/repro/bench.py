@@ -15,6 +15,11 @@ Measures, on the bench-scale machine (256 monitored sets x 12 ways):
   ``rx_direct_*`` isolates the per-frame ``nic.deliver`` template path;
 * ``machine_init_ms`` / ``legacy_llc_init_ms`` — LLC construction cost
   (the engine allocates three numpy arrays; the legacy model 16384 dicts);
+* ``backend_overhead``    — the same batched probe sweep run under each
+  randomized index backend (``keyed``, ``skewed``), reported as a ratio
+  over the modulo sweep from the same run (informational, not gated:
+  the keyed permutation rounds and skewed partition selection are real
+  per-access work the modulo fast path legitimately skips);
 * ``fig6_seconds``        — end-to-end ``repro run fig6`` (100 driver
   inits through the sharded runner, serial).
 
@@ -200,6 +205,54 @@ def bench_rx(n_frames: int) -> dict:
     }
 
 
+def _bench_backend_sweep(backend: str, rounds: int, n_lines: int = 4096) -> float:
+    """Milliseconds per batched ``access_many`` sweep under ``backend``.
+
+    The sweep touches ``n_lines`` distinct lines, so for epochal backends
+    it also pays the memo-miss recompute after each re-key — the same
+    cost profile the attack loops see.
+    """
+    import numpy as np
+
+    from repro.cache.llc import SlicedLLC
+
+    config = MachineConfig().bench_scale()
+    llc = SlicedLLC(
+        geometry=config.cache,
+        ddio=config.ddio,
+        timing=config.timing,
+        backend=backend,
+        seed=1,
+    )
+    paddrs = (
+        np.arange(n_lines, dtype=np.int64) << config.cache.offset_bits
+    )
+    llc.access_many(paddrs)  # warm: fill + populate the flat memo
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        llc.access_many(paddrs)
+    return (time.perf_counter() - t0) / rounds * 1e3
+
+
+def bench_backend_overhead(rounds: int) -> dict:
+    """Per-backend batched sweep cost relative to the modulo baseline."""
+    modulo_ms = _bench_backend_sweep("modulo", rounds)
+    keyed_ms = _bench_backend_sweep("keyed:epoch=0", rounds)
+    rekey_ms = _bench_backend_sweep("keyed:epoch=100000", rounds)
+    skewed_ms = _bench_backend_sweep("skewed:partitions=2", rounds)
+    return {
+        "backend_overhead": {
+            "modulo_sweep_ms": round(modulo_ms, 4),
+            "keyed_sweep_ms": round(keyed_ms, 4),
+            "keyed_rekeying_sweep_ms": round(rekey_ms, 4),
+            "skewed_sweep_ms": round(skewed_ms, 4),
+            "keyed_ratio": round(keyed_ms / modulo_ms, 2),
+            "keyed_rekeying_ratio": round(rekey_ms / modulo_ms, 2),
+            "skewed_ratio": round(skewed_ms / modulo_ms, 2),
+        }
+    }
+
+
 def bench_init(config: MachineConfig, rounds: int = 3) -> tuple[float, float]:
     t0 = time.perf_counter()
     for _ in range(rounds):
@@ -249,6 +302,7 @@ def run_benchmarks(rounds: int, skip_fig6: bool, rx_frames: int = 4000) -> dict:
         },
     }
     result.update(bench_rx(rx_frames))
+    result.update(bench_backend_overhead(rounds))
     if not skip_fig6:
         result["fig6_seconds"] = round(bench_fig6(), 2)
     return result

@@ -1,0 +1,155 @@
+"""Pluggable cache-index backends (``repro.cache.backends``).
+
+The registry maps backend *specs* to :class:`IndexMapping` instances.
+A spec is ``name`` or ``name:key=value,key=value`` — e.g. ``modulo``,
+``keyed:epoch=50000``, ``skewed:partitions=4``.  The spec string lives
+in :attr:`repro.core.config.MachineConfig.cache_backend`, so it is part
+of the config hash and every result cache key.
+
+See :mod:`repro.cache.backends.base` for the policy contract and the
+per-backend modules for the designs they model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cache.backends.base import (
+    BackendInfo,
+    IndexMapping,
+    MappingStats,
+    derive_index_key,
+)
+from repro.cache.backends.ceaser import DEFAULT_EPOCH_PERIOD, KeyedMapping
+from repro.cache.backends.modulo import ModuloMapping
+from repro.cache.backends.scatter import DEFAULT_PARTITIONS, SkewedMapping
+from repro.cache.slicehash import SliceHash
+from repro.core.config import CacheGeometry
+
+__all__ = [
+    "BackendInfo",
+    "IndexMapping",
+    "KeyedMapping",
+    "MappingStats",
+    "ModuloMapping",
+    "SkewedMapping",
+    "backend_infos",
+    "derive_index_key",
+    "make_mapping",
+    "parse_backend_spec",
+]
+
+
+def _build_modulo(
+    geometry: CacheGeometry, slice_hash: SliceHash, seed: int, params: dict[str, int]
+) -> IndexMapping:
+    return ModuloMapping(geometry, slice_hash)
+
+
+def _build_keyed(
+    geometry: CacheGeometry, slice_hash: SliceHash, seed: int, params: dict[str, int]
+) -> IndexMapping:
+    return KeyedMapping(
+        geometry,
+        slice_hash,
+        seed=seed,
+        epoch_period=params.get("epoch", DEFAULT_EPOCH_PERIOD),
+    )
+
+
+def _build_skewed(
+    geometry: CacheGeometry, slice_hash: SliceHash, seed: int, params: dict[str, int]
+) -> IndexMapping:
+    return SkewedMapping(
+        geometry,
+        slice_hash,
+        seed=seed,
+        n_partitions=params.get("partitions", DEFAULT_PARTITIONS),
+    )
+
+
+_Builder = Callable[[CacheGeometry, SliceHash, int, dict], IndexMapping]
+
+#: name -> (builder, allowed params, registry row).
+_REGISTRY: dict[str, tuple[_Builder, frozenset[str], BackendInfo]] = {
+    "modulo": (
+        _build_modulo,
+        frozenset(),
+        BackendInfo(
+            "modulo",
+            "conventional set indexing (default; bit-identical to pre-backend code)",
+            "-",
+        ),
+    ),
+    "keyed": (
+        _build_keyed,
+        frozenset({"epoch"}),
+        BackendInfo(
+            "keyed",
+            "CEASER-shaped keyed index, epoch re-keying + remap accounting",
+            f"epoch={DEFAULT_EPOCH_PERIOD} (accesses between re-keys; 0 = never)",
+        ),
+    ),
+    "skewed": (
+        _build_skewed,
+        frozenset({"partitions"}),
+        BackendInfo(
+            "skewed",
+            "ScatterCache-shaped per-partition keyed indexes, way-restricted victims",
+            f"partitions={DEFAULT_PARTITIONS} (way groups; must divide ways)",
+        ),
+    ),
+}
+
+
+def backend_names() -> list[str]:
+    return list(_REGISTRY)
+
+
+def backend_infos() -> list[BackendInfo]:
+    return [info for _b, _p, info in _REGISTRY.values()]
+
+
+def parse_backend_spec(spec: str) -> tuple[str, dict[str, int]]:
+    """Split ``name[:key=value,...]`` and validate against the registry.
+
+    Raises :class:`ValueError` with an actionable message for unknown
+    names, unknown parameters and malformed values — the CLI maps that
+    to the usage exit code.
+    """
+    name, _sep, rest = spec.partition(":")
+    name = name.strip()
+    if name not in _REGISTRY:
+        known = ", ".join(_REGISTRY)
+        raise ValueError(f"unknown cache backend {name!r} (known: {known})")
+    allowed = _REGISTRY[name][1]
+    params: dict[str, int] = {}
+    if rest:
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            if not sep or key not in allowed:
+                options = ", ".join(sorted(allowed)) or "none"
+                raise ValueError(
+                    f"bad backend parameter {item!r} for {name!r} "
+                    f"(allowed: {options})"
+                )
+            try:
+                params[key] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"backend parameter {key!r} must be an integer, got {value!r}"
+                ) from None
+    return name, params
+
+
+def make_mapping(
+    spec: str,
+    geometry: CacheGeometry,
+    slice_hash: SliceHash,
+    seed: int = 0,
+) -> IndexMapping:
+    """Build the :class:`IndexMapping` a backend spec describes."""
+    name, params = parse_backend_spec(spec)
+    builder = _REGISTRY[name][0]
+    return builder(geometry, slice_hash, seed, params)

@@ -1,0 +1,30 @@
+"""The conventional set-indexed mapping (the default backend).
+
+This is the exact decomposition the LLC computed inline before the
+backends subsystem existed: ``slice_hash(paddr) * sets_per_slice +
+(line & set_mask)``.  Both paths reproduce it operation-for-operation,
+so a machine built with the default backend is bit-identical to the
+pre-backend code — pinned by the differential-equivalence suites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.backends.base import IndexMapping
+
+
+class ModuloMapping(IndexMapping):
+    """Plain modulo indexing; static, transparent, victim-unrestricted."""
+
+    name = "modulo"
+    index_transparent = True
+
+    def flat_of(self, paddr: int, line: int) -> int:
+        return (
+            self.slice_hash.slice_of(paddr) * self.geometry.sets_per_slice
+            + (line & self._set_mask)
+        )
+
+    def flats_of_many(self, paddrs: np.ndarray, lines: np.ndarray) -> np.ndarray:
+        return self.modulo_flats(paddrs, lines)

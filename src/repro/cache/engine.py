@@ -173,6 +173,46 @@ class CacheEngine:
             way = int(np.where(occupied, stamps, np.iinfo(np.int64).max).argmin())
         return self._drop(flat, base + way)
 
+    def insert_in(
+        self, flat: int, line: int, flags: int, lo: int, hi: int
+    ) -> tuple[int, int] | None:
+        """Insert as MRU using only ways ``[lo, hi)`` — the skewed backend's
+        candidate-way restriction.  Evicts the range's LRU line if the
+        range is full; returns the evicted ``(line, flags)`` or None.
+        """
+        base = flat * self.ways
+        row = self.tags[base + lo : base + hi]
+        evicted = None
+        if (row != -1).all():
+            evicted = self.evict_lru_in(flat, lo, hi)
+            row = self.tags[base + lo : base + hi]
+        way = lo + int(np.argmin(row))  # empty ways hold -1, the row minimum
+        idx = base + way
+        self.tags[idx] = line
+        self.flags[idx] = flags
+        self._tick += 1
+        self.stamps[idx] = self._tick
+        self._dir[flat * self._line_span + line] = way
+        self._size[flat] += 1
+        if flags & LINE_IO:
+            self._n_io[flat] += 1
+        return evicted
+
+    def evict_lru_in(self, flat: int, lo: int, hi: int) -> tuple[int, int]:
+        """Evict the LRU line among ways ``[lo, hi)`` of a set."""
+        base = flat * self.ways
+        row = self.tags[base + lo : base + hi]
+        occupied = row != -1
+        if not occupied.any():
+            raise LookupError("evict_lru_in on empty way range")
+        stamps = np.where(
+            occupied,
+            self.stamps[base + lo : base + hi],
+            np.iinfo(np.int64).max,
+        )
+        way = lo + int(stamps.argmin())
+        return self._drop(flat, base + way)
+
     def evict_lru_of(self, flat: int, io: bool) -> tuple[int, int] | None:
         """Evict the LRU line whose origin matches ``io``; None if no match."""
         count = self._n_io[flat] if io else self._size[flat] - self._n_io[flat]
@@ -219,6 +259,21 @@ class CacheEngine:
         if flags & LINE_IO:
             self._n_io[flat] -= 1
         return line, flags
+
+    def reset(self) -> None:
+        """Empty every set, keeping the tick counter monotonic.
+
+        Used by epoch re-keying: the LLC snapshots resident lines,
+        resets the arrays, and reinserts each line under the fresh
+        mapping — stamps issued after the reset stay strictly above any
+        issued before, so LRU order across the re-key remains coherent.
+        """
+        self.tags.fill(-1)
+        self.flags.fill(0)
+        self.stamps.fill(0)
+        self._size = [0] * self.n_sets
+        self._n_io = [0] * self.n_sets
+        self._dir.clear()
 
     # ------------------------------------------------------------------
     # Introspection

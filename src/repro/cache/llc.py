@@ -33,6 +33,7 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from repro.cache.backends import IndexMapping, make_mapping
 from repro.cache.cacheset import LINE_DIRTY, LINE_IO
 from repro.cache.engine import CacheEngine
 from repro.cache.slicehash import IntelComplexHash, SliceHash
@@ -132,6 +133,8 @@ class SlicedLLC:
         timing: TimingParams | None = None,
         traffic: DramTraffic | None = None,
         slice_hash: SliceHash | None = None,
+        backend: str | IndexMapping = "modulo",
+        seed: int = 0,
     ) -> None:
         self.geometry = geometry or CacheGeometry()
         self.ddio = ddio or DDIOConfig()
@@ -143,6 +146,30 @@ class SlicedLLC:
                 "slice hash built for a different slice count: "
                 f"{self.slice_hash.n_slices} != {self.geometry.n_slices}"
             )
+        #: Index backend: how a line address becomes a flat set id (and,
+        #: for skewed designs, which ways are candidate victims).  See
+        #: :mod:`repro.cache.backends`.
+        if isinstance(backend, IndexMapping):
+            self.mapping = backend
+        else:
+            self.mapping = make_mapping(
+                backend, self.geometry, self.slice_hash, seed=seed
+            )
+        #: Epoch counter, bumped on every re-key.  Consumers holding
+        #: decomposition caches may key on it; the access paths below do
+        #: not need to (stale ``decomp`` hints are ignored when the
+        #: mapping is epochal).
+        self.mapping_epoch = 0
+        self._epochal = self.mapping.epoch_period > 0
+        self._epoch_period = self.mapping.epoch_period
+        self._access_count = 0
+        self._skewed = self.mapping.n_partitions > 1
+        if self._skewed and self.geometry.ways % self.mapping.n_partitions:
+            raise ValueError(
+                f"backend partitions ({self.mapping.n_partitions}) must "
+                f"divide ways ({self.geometry.ways})"
+            )
+        self._part_ways = self.geometry.ways // self.mapping.n_partitions
         self.engine = CacheEngine(self.geometry.total_sets, self.geometry.ways)
         self.sets = _SetViews(self.engine)
         self.stats = CacheStats()
@@ -180,14 +207,12 @@ class SlicedLLC:
         return self.slice_hash.slice_of(paddr)
 
     def flat_set_of(self, paddr: int) -> int:
-        """Flat set id: ``slice * sets_per_slice + set_index`` (memoized)."""
+        """Flat set id under the active index backend (memoized per line;
+        the memo is cleared whenever an epochal backend re-keys)."""
         line = paddr >> self._offset_bits
         flat = self._flat_memo.get(line)
         if flat is None:
-            flat = (
-                self.slice_hash.slice_of(paddr) * self.geometry.sets_per_slice
-                + (line & self._set_mask)
-            )
+            flat = self.mapping.flat_of(paddr, line)
             self._flat_memo[line] = flat
         return flat
 
@@ -199,20 +224,113 @@ class SlicedLLC:
         """Vectorised ``(flat_set, line)`` decomposition of an address array.
 
         One numpy pass through the slice hash — no per-address Python.
+        Under an epochal backend the per-line memo fronts the mapping:
+        batched callers cannot cache decompositions across calls there
+        (a re-key would stale them), so without the memo every probe
+        sweep would re-run the keyed permutation over the same handful
+        of lines thousands of times per epoch.
         """
         paddrs = np.asarray(paddrs, dtype=np.int64)
         lines = paddrs >> self._offset_bits
-        flats = (
-            self.slice_hash.slice_of_many(paddrs) * self.geometry.sets_per_slice
-            + (lines & self._set_mask)
-        )
-        return flats, lines
+        if self._epochal:
+            memo = self._flat_memo
+            line_list = lines.tolist()
+            flats = np.empty(len(line_list), dtype=np.int64)
+            missing = []
+            for i, line in enumerate(line_list):
+                flat = memo.get(line)
+                if flat is None:
+                    missing.append(i)
+                else:
+                    flats[i] = flat
+            if missing:
+                idx = np.asarray(missing, dtype=np.intp)
+                fresh = self.mapping.flats_of_many(paddrs[idx], lines[idx])
+                flats[idx] = fresh
+                for i, flat in zip(missing, fresh.tolist()):
+                    memo[line_list[i]] = flat
+            return flats, lines
+        return self.mapping.flats_of_many(paddrs, lines), lines
+
+    # ------------------------------------------------------------------
+    # Epoch re-keying (epochal backends only)
+    # ------------------------------------------------------------------
+    def accesses_until_rekey(self) -> int:
+        """Accesses left before the next re-key fires (for introspection)."""
+        if not self._epochal:
+            raise RuntimeError("mapping has no epochs")
+        return max(0, self._epoch_period - self._access_count)
+
+    def _rekey(self, now: int) -> None:
+        """Install fresh index keys and remap every resident line.
+
+        A real CEASER relocates lines gradually across the epoch; the
+        model applies the whole remap atomically at the epoch boundary,
+        with exact accounting: each resident line is reinserted under
+        the new mapping in LRU-to-MRU order (so relative recency
+        survives into the new sets), and a line whose new set is
+        already full evicts that set's LRU — the displaced line is
+        *dropped* (written back if dirty).  ``MappingStats`` records
+        remapped vs dropped counts per epoch; the property suite pins
+        that they sum to the pre-re-key resident population.
+        """
+        if self.partition is not None:
+            raise RuntimeError(
+                "epoch re-keying cannot run with the partition defense "
+                "installed (victim policies conflict); use a static backend "
+                "or epoch=0"
+            )
+        engine = self.engine
+        occ = np.flatnonzero(engine.tags != -1)
+        lines = engine.tags[occ]
+        flags = engine.flags[occ]
+        order = np.argsort(engine.stamps[occ], kind="stable")
+        self.mapping.advance_epoch()
+        self.mapping_epoch += 1
+        self._flat_memo.clear()
+        engine.reset()
+        stats = self.mapping.stats
+        stats.epochs += 1
+        shift = self._offset_bits
+        skewed = self._skewed
+        dropped = 0
+        # One vectorised pass maps every resident line under the fresh
+        # keys (and seeds the memo wholesale) — the reinsert loop below
+        # then only pays for engine bookkeeping, not per-line hashing.
+        new_flats = self.mapping.flats_of_many(lines << shift, lines)
+        self._flat_memo.update(zip(lines.tolist(), new_flats.tolist()))
+        for i in order.tolist():
+            line = int(lines[i])
+            line_flags = int(flags[i])
+            flat = int(new_flats[i])
+            if skewed:
+                evicted = engine.insert_in(
+                    flat, line, line_flags, *self._way_range(line)
+                )
+            else:
+                evicted = engine.insert(flat, line, line_flags)
+            if evicted is not None:
+                dropped += 1
+                ev_line, ev_flags = evicted
+                self.stats.invalidations += 1
+                if self.evict_hook is not None:
+                    self.evict_hook(ev_line)
+                if ev_flags & LINE_DIRTY:
+                    self.stats.writebacks += 1
+                    self.traffic.writes += 1
+        stats.lines_remapped += len(occ) - dropped
+        stats.lines_dropped += dropped
 
     # ------------------------------------------------------------------
     # CPU path
     # ------------------------------------------------------------------
     def cpu_access(self, paddr: int, write: bool = False, now: int = 0) -> tuple[bool, int]:
         """Access ``paddr`` from a CPU; returns ``(hit, latency_cycles)``."""
+        if self._epochal:
+            if self._access_count >= self._epoch_period:
+                self._rekey(now)
+                self._access_count = 0
+            self._access_count += 1
         line = paddr >> self._offset_bits
         flat = self._flat_memo.get(line)
         if flat is None:
@@ -225,16 +343,26 @@ class SlicedLLC:
         self._fill_cpu(flat, line, write, now)
         return False, self.timing.llc_miss_latency
 
+    def _way_range(self, line: int) -> tuple[int, int]:
+        """Candidate-way range of a line under a skewed backend."""
+        p = self.mapping.partition_of(line)
+        return p * self._part_ways, (p + 1) * self._part_ways
+
     def _fill_cpu(self, flat: int, line: int, write: bool, now: int) -> None:
         flags = LINE_DIRTY if write else 0
         if self.partition is not None:
+            # The partition defense owns victim selection outright; a
+            # skewed backend's way restriction is superseded by it.
             evicted = self.partition.victim_for_cpu_fill(self, flat, now)
             if evicted is not None:
                 self._retire(evicted, by_io=False)
             self.engine.insert(flat, line, flags)
             self.partition.after_fill(self, flat, now)
             return
-        evicted = self.engine.insert(flat, line, flags)
+        if self._skewed:
+            evicted = self.engine.insert_in(flat, line, flags, *self._way_range(line))
+        else:
+            evicted = self.engine.insert(flat, line, flags)
         if evicted is not None:
             self._retire(evicted, by_io=False)
 
@@ -258,16 +386,38 @@ class SlicedLLC:
 
         ``decomp`` lets callers that replay a fixed address sequence
         (eviction-set sweeps) pass the cached ``(flats, lines)``
-        decomposition instead of re-hashing every call.
+        decomposition instead of re-hashing every call.  Under an
+        epochal backend the hint is ignored — a cached decomposition
+        may predate a re-key — and a batch a re-key would land inside
+        is replayed through the exact scalar path, so the re-key fires
+        at the precise access it would in a sequential loop.
         """
         paddrs = np.asarray(paddrs, dtype=np.int64)
         n = len(paddrs)
         hit_latency = self.timing.llc_hit_latency
         if n == 0:
             return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.int64)
+        epochal = self._epochal
+        if epochal:
+            decomp = None
+            if self._access_count >= self._epoch_period:
+                self._rekey(now)
+                self._access_count = 0
+            if n > self._epoch_period - self._access_count:
+                # Mid-batch re-key: interleaving is observable, go scalar.
+                hits = np.empty(n, dtype=bool)
+                lats = np.empty(n, dtype=np.int64)
+                for i, paddr in enumerate(paddrs.tolist()):
+                    hits[i], lats[i] = self.cpu_access(paddr, write=write, now=now)
+                return hits, lats
+            # No re-key can land inside this batch.  The all-hit and
+            # clean-set paths below count their accesses explicitly; the
+            # miss-set fallback counts through cpu_access itself.
         flats, lines = decomp if decomp is not None else self.decompose_many(paddrs)
         hit, ways = self.engine.lookup_many(flats, lines)
         if hit.all():
+            if epochal:
+                self._access_count += n
             self.engine.touch_many(flats, ways, set_dirty=write)
             self.stats.cpu_hits += n
             return (
@@ -283,6 +433,8 @@ class SlicedLLC:
         clean = ~scalar
         n_clean = int(clean.sum())
         if n_clean:
+            if epochal:
+                self._access_count += n_clean
             self.engine.touch_many(flats[clean], ways[clean], set_dirty=write)
             self.stats.cpu_hits += n_clean
             hits[clean] = True
@@ -294,6 +446,11 @@ class SlicedLLC:
     # ------------------------------------------------------------------
     def io_write(self, paddr: int, now: int = 0) -> None:
         """Inbound DMA write of one cache line."""
+        if self._epochal:
+            if self._access_count >= self._epoch_period:
+                self._rekey(now)
+                self._access_count = 0
+            self._access_count += 1
         engine = self.engine
         line = paddr >> self._offset_bits
         flat = self._flat_memo.get(line)
@@ -328,6 +485,20 @@ class SlicedLLC:
             self.partition.after_fill(self, flat, now)
             return
         # Vanilla DDIO: cap I/O lines per set, but victims may be CPU lines.
+        if self._skewed:
+            # The I/O way cap stays set-wide (DDIO limits *how many* I/O
+            # lines live in a set, not where); the fill itself may only
+            # displace one of the line's candidate ways.
+            if engine.io_count(flat) >= self.ddio.write_allocate_ways:
+                evicted = engine.evict_lru_of(flat, io=True)
+                if evicted is not None:
+                    self._retire(evicted, by_io=True)
+            evicted = engine.insert_in(
+                flat, line, LINE_IO | LINE_DIRTY, *self._way_range(line)
+            )
+            if evicted is not None:
+                self._retire(evicted, by_io=True)
+            return
         if engine.io_count(flat) >= self.ddio.write_allocate_ways:
             evicted = engine.evict_lru_of(flat, io=True)
             if evicted is not None:
@@ -363,10 +534,28 @@ class SlicedLLC:
             for paddr in paddrs:
                 self.io_write(int(paddr), now=now)
             return
+        if self._epochal:
+            decomp = None  # may predate a re-key; recompute below
+            if self._access_count >= self._epoch_period:
+                self._rekey(now)
+                self._access_count = 0
+            if n > self._epoch_period - self._access_count:
+                # Mid-batch re-key: exact scalar ordering required.
+                for paddr in paddrs:
+                    self.io_write(int(paddr), now=now)
+                return
+        if self._skewed:
+            # Way-restricted victim selection is not modelled by the
+            # vectorised fill kernel; take the exact scalar path.
+            for paddr in paddrs:
+                self.io_write(int(paddr), now=now)
+            return
         flats, lines = decomp if decomp is not None else self.decompose_many(paddrs)
         engine = self.engine
         if not self.ddio.enabled:
             # Direct to DRAM; snoop-invalidate any cached copies.
+            if self._epochal:
+                self._access_count += n
             self.traffic.writes += n
             hit, _ways = engine.lookup_many(flats, lines)
             # A line can repeat within the batch: the lookup is a pre-state
@@ -386,6 +575,8 @@ class SlicedLLC:
             for paddr in paddrs:
                 self.io_write(int(paddr), now=now)
             return
+        if self._epochal:
+            self._access_count += n
         resident, evicted_lines, evicted_flags = engine.io_fill_many(
             flats, lines, self.ddio.write_allocate_ways
         )
@@ -438,8 +629,9 @@ class SlicedLLC:
 
         Returns False — with no state touched — when the vanilla-DDIO
         kernel cannot represent the machine's policy (partition, hooks,
-        DDIO off, degenerate cap); the caller then replays the frames
-        through the scalar-equivalent per-frame path.
+        DDIO off, degenerate cap, a randomized index backend); the
+        caller then replays the frames through the scalar-equivalent
+        per-frame path.
         """
         if (
             not self.ddio.enabled
@@ -447,6 +639,11 @@ class SlicedLLC:
             or self.partition is not None
             or self.evict_hook is not None
             or self.io_fill_hook is not None
+            # Epochal backends: the caller's template decomps may predate
+            # a re-key (and one could fall mid-burst); skewed backends:
+            # the kernel's victim policy is not way-restricted.
+            or self._epochal
+            or self._skewed
         ):
             return False
         pre_res, ev_pos, ev_lines, ev_flags = self.engine.rx_burst_apply(
@@ -538,6 +735,11 @@ class SlicedLLC:
                 self.telemetry.on_io_evict_cpu(line)
         elif victim_is_io:
             self.stats.cpu_evicted_io += 1
+
+    def supports_rx_burst(self) -> bool:
+        """Whether the cross-frame rx burst kernel can model this cache's
+        policy (static, unskewed index backend)."""
+        return not (self._epochal or self._skewed)
 
     # ------------------------------------------------------------------
     # Introspection (instrumentation / ground truth, not attacker-visible)

@@ -8,6 +8,9 @@ Usage::
     python -m repro all --jobs 8        # everything, parallel, cached
     python -m repro all --force         # ignore cached results and re-run
     python -m repro table1 --paper-scale
+    python -m repro run randomized-cache        # 'run' alias for a name
+    python -m repro backends list               # cache index backends
+    python -m repro fig10 --backend keyed:epoch=50000
     python -m repro bench --skip-fig6   # hot-path benchmarks + gate
                                         # (see repro.bench for options)
 
@@ -44,6 +47,7 @@ import traceback
 from dataclasses import dataclass, replace
 from typing import Any, Callable
 
+from repro.cache.backends import backend_infos, parse_backend_spec
 from repro.core.config import MachineConfig
 from repro.faults import FAULT_PROFILES, get_profile
 from repro.runner import (
@@ -230,6 +234,12 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         run=lambda cfg, runner: exp.run_noise_ablation(cfg, runner=runner),
         sharded=True,
     ),
+    "randomized-cache": ExperimentDef(
+        "randomized-index backends vs the full attack pipeline",
+        params={"n_samples": 600, "n_symbols": 24, "huge_pages": 8},
+        run=lambda cfg, runner: exp.run_randomized_cache(cfg, runner=runner),
+        sharded=True,
+    ),
 }
 
 
@@ -256,14 +266,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'list', 'all', 'trace' (traced run of TARGET), "
-        "or 'faults' (with 'list': show fault profiles)",
+        help="experiment name, 'list', 'all', 'run' (alias: run TARGET), "
+        "'trace' (traced run of TARGET), 'faults' (with 'list': show fault "
+        "profiles), or 'backends' (with 'list': show cache index backends)",
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
-        help="experiment to trace (with 'trace') or subcommand (with 'faults')",
+        help="experiment to run/trace (with 'run'/'trace') or subcommand "
+        "(with 'faults'/'backends')",
     )
     parser.add_argument(
         "--paper-scale",
@@ -308,6 +320,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PROFILE",
         help="fault-injection profile (see 'repro faults list'; default 'off' "
         "— outputs are then bit-identical to a build without fault hooks)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="SPEC",
+        help="cache index backend for the machine, as 'name[:k=v,...]' — see "
+        "'repro backends list' (default: the config's 'modulo', the "
+        "conventional bit-identical mapping)",
     )
     parser.add_argument(
         "--max-failed-shards",
@@ -373,6 +393,16 @@ def build_runner(args: argparse.Namespace) -> ExperimentRunner:
         fail_fast=args.fail_fast,
         checkpoint=args.checkpoint,
     )
+
+
+def print_backends() -> None:
+    """The ``repro backends list`` table: registered index backends."""
+    infos = backend_infos()
+    width = max(len("backend"), max(len(info.name) for info in infos))
+    pwidth = max(len(info.params) for info in infos)
+    print(f"  {'backend':{width}s}  {'params':{pwidth}s}  description")
+    for info in infos:
+        print(f"  {info.name:{width}s}  {info.params:{pwidth}s}  {info.summary}")
 
 
 def print_fault_profiles() -> None:
@@ -542,6 +572,12 @@ def main(argv: list[str] | None = None) -> int:
 
         return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
+    if args.experiment == "run":
+        if args.target is None:
+            print("usage: repro run <experiment>", file=sys.stderr)
+            return EXIT_USAGE
+        args.experiment = args.target
+        args.target = None
     if args.experiment == "trace":
         if args.target is None:
             raise SystemExit("usage: repro trace <experiment> [--trace PATH]")
@@ -554,6 +590,12 @@ def main(argv: list[str] | None = None) -> int:
             print("usage: repro faults list", file=sys.stderr)
             return EXIT_USAGE
         print_fault_profiles()
+        return EXIT_OK
+    if args.experiment == "backends":
+        if args.target != "list":
+            print("usage: repro backends list", file=sys.stderr)
+            return EXIT_USAGE
+        print_backends()
         return EXIT_OK
     if args.target is not None:
         raise SystemExit(f"unexpected extra argument {args.target!r}")
@@ -576,6 +618,13 @@ def main(argv: list[str] | None = None) -> int:
             config = replace(config, faults=get_profile(args.faults))
         except ValueError as error:
             raise SystemExit(str(error)) from None
+    if args.backend is not None:
+        try:
+            parse_backend_spec(args.backend)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return EXIT_USAGE
+        config = replace(config, cache_backend=args.backend)
     telemetry = None
     if args.trace or args.metrics:
         telemetry = Telemetry.create(

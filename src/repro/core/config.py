@@ -323,6 +323,11 @@ class MachineConfig:
     numa_nodes: int = 2
     #: Seed for all stochastic choices (page placement, noise, jitter).
     seed: int = 1234
+    #: Cache index backend spec (see :mod:`repro.cache.backends`):
+    #: "modulo" (conventional, the default), "keyed[:epoch=N]" (CEASER-
+    #: shaped), "skewed[:partitions=P]" (ScatterCache-shaped).  Part of
+    #: the config hash, so per-backend results cache independently.
+    cache_backend: str = "modulo"
 
     def to_dict(self) -> dict:
         """Plain nested-dict form of the full configuration.
@@ -390,6 +395,7 @@ class MachineConfig:
             memory_bytes=1 << 28,
             numa_nodes=self.numa_nodes,
             seed=self.seed,
+            cache_backend=self.cache_backend,
         )
 
     def bench_scale(self) -> "MachineConfig":
@@ -408,4 +414,5 @@ class MachineConfig:
             memory_bytes=1 << 30,
             numa_nodes=self.numa_nodes,
             seed=self.seed,
+            cache_backend=self.cache_backend,
         )

@@ -141,6 +141,8 @@ class Machine:
             ddio=cfg.ddio,
             timing=cfg.timing,
             traffic=self.physmem.traffic,
+            backend=cfg.cache_backend,
+            seed=cfg.seed,
         )
         self.kernel = AddressSpace(self.physmem, "kernel")
         self.nic = None

@@ -20,8 +20,28 @@ defense evaluation can measure the latency impact.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
+
+import numpy as np
+
+
+def derive_defense_seed(root_seed: int, domain: str) -> int:
+    """Derive a defense RNG seed from the machine seed, namespaced by
+    ``domain``.
+
+    Same discipline as :func:`repro.faults.plan.derive_fault_seed`: the
+    domain tag goes through SHA-256 (stable across processes/platforms)
+    and the mix through ``SeedSequence``, so every defense draws from an
+    independent stream that is a pure function of the machine config —
+    defense-eval runs are bit-identical at any ``--jobs``.
+    """
+    tag = int.from_bytes(
+        hashlib.sha256(f"repro.defense:{domain}".encode()).digest()[:8], "little"
+    )
+    w0, w1 = np.random.SeedSequence([root_seed, tag]).generate_state(2, np.uint32)
+    return (int(w0) << 31 | int(w1)) & ((1 << 63) - 1)
 
 
 @dataclass(frozen=True)
@@ -86,14 +106,28 @@ class PartialRandomizer(_RandomizerBase):
         if interval < 1:
             raise ValueError(f"interval must be >= 1, got {interval}")
         self.interval = interval
-        self.rng = rng or random.Random(97)
+        #: None until first use: without an explicit ``rng`` the stream
+        #: is derived from the *machine's* seed on first packet, so the
+        #: shuffle sequence is a pure function of the machine config
+        #: (bit-identical at any ``--jobs``), not of module-level state.
+        self.rng = rng
         self.shuffles = 0
+
+    def _stream(self, driver) -> random.Random:
+        if self.rng is None:
+            self.rng = random.Random(
+                derive_defense_seed(
+                    driver.machine.config.seed,
+                    f"randomization.partial:{self.interval}",
+                )
+            )
+        return self.rng
 
     def on_packet(self, driver, buffer) -> None:
         """Driver hook: count packets; shuffle when the interval elapses."""
         self.packets += 1
         if self.packets % self.interval == 0:
-            driver.ring.shuffle_order(self.rng)
+            driver.ring.shuffle_order(self._stream(driver))
             self.shuffles += 1
             self._charge(
                 self.cost.shuffle_cycles_per_buffer * len(driver.ring.buffers)

@@ -40,6 +40,7 @@ def _with(base: MachineConfig, ring: RingConfig | None = None, ddio: DDIOConfig 
         memory_bytes=base.memory_bytes,
         numa_nodes=base.numa_nodes,
         seed=base.seed,
+        cache_backend=base.cache_backend,
     )
 
 

@@ -43,6 +43,7 @@ def _machine_variant(
         memory_bytes=base.memory_bytes,
         numa_nodes=base.numa_nodes,
         seed=base.seed,
+        cache_backend=base.cache_backend,
     )
     machine = Machine(cfg)
     machine.install_nic()

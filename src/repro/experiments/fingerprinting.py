@@ -49,6 +49,7 @@ def _fingerprint_rig(
         memory_bytes=cfg.memory_bytes,
         numa_nodes=cfg.numa_nodes,
         seed=cfg.seed,
+        cache_backend=cfg.cache_backend,
     )
     machine = Machine(cfg)
     machine.install_nic()

@@ -192,6 +192,7 @@ class Nic:
             and llc.partition is None
             and llc.evict_hook is None
             and llc.io_fill_hook is None
+            and llc.supports_rx_burst()
             and self.machine.faults is None
         )
 
