@@ -13,7 +13,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.analysis.levenshtein import levenshtein
+from repro.analysis.levenshtein import edit_breakdown
 
 
 @dataclass(frozen=True)
@@ -25,6 +25,16 @@ class ChannelReport:
     elapsed_seconds: float
     error_rate: float
     alphabet: int
+    #: Minimum-edit-script error classes (they sum to the edit distance):
+    #: a flipped bit is a substitution, a lost symbol a deletion, a
+    #: spurious detection an insertion.
+    substitutions: int = 0
+    insertions: int = 0
+    deletions: int = 0
+
+    @property
+    def edit_distance(self) -> int:
+        return self.substitutions + self.insertions + self.deletions
 
     @property
     def symbol_rate(self) -> float:
@@ -58,16 +68,35 @@ def evaluate_channel(
     elapsed_seconds: float,
     alphabet: int,
 ) -> ChannelReport:
-    """Score one run: edit-distance error rate + bandwidth."""
+    """Score one run: edit-distance error rate + bandwidth.
+
+    The distance is attributed to substitutions/insertions/deletions (the
+    breakdown sums to the plain Levenshtein distance, so the error rate is
+    unchanged), and when a telemetry session with metrics is installed the
+    run lands on the ambient registry as ``quality.covert.*``.
+    """
     if alphabet < 2:
         raise ValueError(f"alphabet must be >= 2, got {alphabet}")
     if not sent:
         raise ValueError("no symbols were sent")
-    distance = levenshtein(list(sent), list(received))
-    return ChannelReport(
+    substitutions, insertions, deletions = edit_breakdown(
+        list(sent), list(received)
+    )
+    distance = substitutions + insertions + deletions
+    report = ChannelReport(
         symbols_sent=len(sent),
         symbols_received=len(received),
         elapsed_seconds=elapsed_seconds,
         error_rate=distance / len(sent),
         alphabet=alphabet,
+        substitutions=substitutions,
+        insertions=insertions,
+        deletions=deletions,
     )
+    from repro.telemetry.context import current_telemetry
+    from repro.telemetry.quality import quality_registry, record_channel_report
+
+    registry = quality_registry(current_telemetry())
+    if registry is not None:
+        record_channel_report(registry, report)
+    return report

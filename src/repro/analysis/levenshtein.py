@@ -97,6 +97,48 @@ def error_rate(recovered: Sequence, truth: Sequence, cyclic: bool = False) -> fl
     return distance / len(truth)
 
 
+def edit_breakdown(sent: Sequence, received: Sequence) -> tuple[int, int, int]:
+    """``(substitutions, insertions, deletions)`` turning ``sent`` into
+    ``received``, from one minimum edit script.
+
+    The three counts always sum to ``levenshtein(sent, received)`` — the
+    traceback just attributes the minimum distance to error classes, which
+    is how the covert channel separates bit flips (substitutions) from
+    sync slips (a missed symbol is a deletion, a spurious probe hit is an
+    insertion).  Ties prefer the diagonal, then deletion.
+    """
+    n, m = len(sent), len(received)
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        dp[i][0] = i
+    for j in range(m + 1):
+        dp[0][j] = j
+    for i in range(1, n + 1):
+        row = dp[i]
+        prev = dp[i - 1]
+        si = sent[i - 1]
+        for j in range(1, m + 1):
+            cost = 0 if si == received[j - 1] else 1
+            row[j] = min(prev[j] + 1, row[j - 1] + 1, prev[j - 1] + cost)
+    substitutions = insertions = deletions = 0
+    i, j = n, m
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            cost = 0 if sent[i - 1] == received[j - 1] else 1
+            if dp[i][j] == dp[i - 1][j - 1] + cost:
+                substitutions += cost
+                i -= 1
+                j -= 1
+                continue
+        if i > 0 and dp[i][j] == dp[i - 1][j] + 1:
+            deletions += 1  # sent symbol never showed up
+            i -= 1
+        else:
+            insertions += 1  # received symbol nobody sent
+            j -= 1
+    return substitutions, insertions, deletions
+
+
 def longest_mismatch_run(recovered: Sequence, truth: Sequence) -> int:
     """Length of the longest run of positions where aligned sequences differ
     (Table I's "Longest Mismatch").

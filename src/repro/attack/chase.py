@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.attack.evictionset import EvictionSet
+from repro.telemetry.quality import quality_registry, record_chase
 
 
 @dataclass
@@ -172,10 +173,14 @@ class PacketChaser:
                 # Stay on this buffer: the next fill of it re-synchronises.
                 if misses > give_up:
                     break  # give up: traffic has evidently stopped
-        return ChaseResult(
+        result = ChaseResult(
             sizes=sizes,
             times=times,
             misses=misses,
             resyncs=resyncs,
             misses_while_active=misses_at_last_hit,
         )
+        registry = quality_registry(machine.telemetry)
+        if registry is not None:
+            record_chase(registry, result)
+        return result

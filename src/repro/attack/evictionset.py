@@ -32,6 +32,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.attack.timing import LatencyThreshold
+from repro.telemetry.quality import (
+    quality_registry,
+    record_evset_report,
+    record_probe_latencies,
+)
 
 
 def page_aligned_set_indices(geometry, page_size: int = 4096) -> list[int]:
@@ -140,6 +145,9 @@ class EvictionSet:
             tele.metrics.counter("probe.accesses").inc(len(self.addrs))
             if misses:
                 tele.metrics.counter("probe.misses").inc(misses)
+            registry = quality_registry(tele)
+            if registry is not None:
+                record_probe_latencies(registry, lats, self.threshold.threshold)
         return misses
 
     def probe_fast(self) -> int:
@@ -380,6 +388,9 @@ class EvictionSetBuilder:
                     keep.append(addr)
             remaining = keep
             groups.append(es)
+        registry = quality_registry(self.process.machine.telemetry)
+        if registry is not None:
+            record_evset_report(registry, report)
         return report
 
     def build_page_aligned_groups(

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.attack.evictionset import EvictionSet
+from repro.telemetry.quality import ProbeSweepAccumulator, quality_registry
 
 
 @dataclass
@@ -73,6 +74,8 @@ class ProbeMonitor:
         self._lens: np.ndarray | None = None
         self._offsets: np.ndarray | None = None
         self._thresholds: np.ndarray | None = None
+        #: Lazily-created quality-hook batcher; flushed when probing stops.
+        self._quality_acc: ProbeSweepAccumulator | None = None
 
     def _sweep_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(paddrs, flats, lines) of the full probe-order sweep, cached.
@@ -154,6 +157,14 @@ class ProbeMonitor:
             total_misses = int(miss_mask.sum())
             if total_misses:
                 tele.metrics.counter("probe.misses").inc(total_misses)
+            registry = quality_registry(tele)
+            if registry is not None:
+                acc = self._quality_acc
+                if acc is None or acc.registry is not registry:
+                    acc = self._quality_acc = ProbeSweepAccumulator(
+                        registry, self._thresholds, self._offsets
+                    )
+                acc.add(lats, miss_mask, total_misses)
         return row
 
     def _fast_sweep(self) -> list[int]:
@@ -192,7 +203,10 @@ class ProbeMonitor:
 
     def probe_once(self) -> list[int]:
         """One sweep over all monitored sets; returns per-set miss counts."""
-        return self._probe_sweep()
+        row = self._probe_sweep()
+        if self._quality_acc is not None:
+            self._quality_acc.flush()
+        return row
 
     def sample(
         self,
@@ -237,6 +251,8 @@ class ProbeMonitor:
                 samples.append(self._probe_sweep())
         if tele is not None and tele.metrics.enabled:
             tele.metrics.counter("probe.sweeps").inc(n_samples)
+        if self._quality_acc is not None:
+            self._quality_acc.flush()
         return SampleTrace(
             samples=samples,
             times=times,

@@ -29,6 +29,7 @@ from typing import Callable
 
 from repro.attack.evictionset import EvictionSet
 from repro.attack.primeprobe import ProbeMonitor, SampleTrace
+from repro.telemetry.quality import quality_registry, record_sequence_recovery
 
 
 @dataclass
@@ -62,6 +63,8 @@ class Sequencer:
         self.process = process
         self.groups = list(groups)
         self.config = config or SequencerConfig()
+        #: always-miss sets swapped for their block-1 replacement so far
+        self._replaced_sets = 0
         #: Called with (group_index, eviction_set) when a set is too noisy;
         #: returns the block-1 replacement set, or None to keep the set.
         self.replacement_provider = replacement_provider
@@ -83,11 +86,14 @@ class Sequencer:
             if not noisy or self.replacement_provider is None:
                 return trace
             replaced_any = False
+            replaced_count = 0
             for j in noisy:
                 replacement = self.replacement_provider(j, self.groups[j])
                 if replacement is not None:
                     self.groups[j] = replacement
                     replaced_any = True
+                    replaced_count += 1
+            self._replaced_sets += replaced_count
             if not replaced_any:
                 return trace
         return trace
@@ -158,9 +164,18 @@ class Sequencer:
         """
         trace = self.get_clean_samples()
         graph = self.build_graph(trace)
-        if not graph:
-            return [], trace
-        return self.make_sequence(graph), trace
+        sequence = [] if not graph else self.make_sequence(graph)
+        registry = quality_registry(self.process.machine.telemetry)
+        if registry is not None:
+            record_sequence_recovery(
+                registry,
+                n_sets=len(self.groups),
+                graph_edges=sum(len(s) for s in graph.values()),
+                sequence_len=len(sequence),
+                activity=trace.activity_fraction(),
+                replaced_sets=self._replaced_sets,
+            )
+        return sequence, trace
 
 
 def place_candidate(master: list[int], window: list[int], candidate: int) -> list[int]:

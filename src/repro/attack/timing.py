@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.stats import mean
+from repro.telemetry.quality import quality_registry, record_calibration
 
 
 @dataclass(frozen=True)
@@ -64,10 +65,14 @@ def calibrate_threshold(
         hit_mean = mean(hits)
         miss_mean = mean(misses)
         if miss_mean > hit_mean:
+            threshold = (hit_mean + miss_mean) / 2.0
+            registry = quality_registry(process.machine.telemetry)
+            if registry is not None:
+                record_calibration(registry, hits, misses, threshold, attempt + 1)
             return LatencyThreshold(
                 hit_mean=hit_mean,
                 miss_mean=miss_mean,
-                threshold=(hit_mean + miss_mean) / 2.0,
+                threshold=threshold,
             )
         samples *= 2  # backoff: average the noise down before retrying
     raise RuntimeError(

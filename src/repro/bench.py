@@ -338,6 +338,37 @@ def check_against(result: dict, baseline: dict, tolerance: float) -> int:
     return status
 
 
+#: Result keys copied into a bench ledger record's headline (the gated
+#: ratios plus the absolute numbers they are built from).
+BENCH_HEADLINE_KEYS = (
+    "sweep_speedup",
+    "rx_speedup",
+    "probe_sweep_ms",
+    "fast_sweep_ms",
+    "legacy_sweep_ms",
+    "rx_frames_per_s",
+    "machine_init_ms",
+    "fig6_seconds",
+)
+
+
+def bench_ledger_record(result: dict):
+    """A ``kind='bench'`` ledger record for one benchmark run."""
+    from repro.telemetry.ledger import LedgerRecord
+
+    headline = {
+        key: float(result[key]) for key in BENCH_HEADLINE_KEYS if key in result
+    }
+    return LedgerRecord(
+        experiment="bench-hotpath",
+        kind="bench",
+        timestamp=time.time(),
+        jobs=1,
+        trials=result.get("rounds", 0),
+        headline=headline,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro bench", description=__doc__.split("\n\n")[0]
@@ -359,6 +390,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-fig6", action="store_true", help="skip the end-to-end fig6 timing"
     )
+    parser.add_argument(
+        "--ledger",
+        metavar="DIR",
+        help="append this run to DIR/ledger.jsonl as a kind='bench' record "
+        "(shown by 'repro report bench-hotpath')",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="PATH",
+        help="append this run's ledger record to a standalone JSONL history "
+        "file (e.g. a CI BENCH_history.jsonl artifact)",
+    )
     args = parser.parse_args(argv)
 
     result = run_benchmarks(args.rounds, args.skip_fig6, rx_frames=args.rx_frames)
@@ -368,6 +411,22 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(result, fh, indent=2)
             fh.write("\n")
         print(f"wrote {args.out}")
+
+    if args.ledger or args.history:
+        from repro.telemetry.ledger import RunLedger
+
+        record = bench_ledger_record(result)
+        if args.ledger:
+            RunLedger(args.ledger).append(record)
+            print(f"appended bench record to {args.ledger}/ledger.jsonl")
+        if args.history:
+            import os
+            from pathlib import Path
+
+            history = RunLedger(os.path.dirname(args.history) or ".")
+            history.path = Path(args.history)
+            history.append(record)
+            print(f"appended bench record to {args.history}")
 
     if args.check:
         with open(args.check) as fh:

@@ -13,6 +13,8 @@ Usage::
     python -m repro fig10 --backend keyed:epoch=50000
     python -m repro bench --skip-fig6   # hot-path benchmarks + gate
                                         # (see repro.bench for options)
+    python -m repro report fig6         # signal-quality dashboard from the
+                                        # run ledger (repro.telemetry.report)
 
 Each experiment runs at the scaled machine size by default (seconds to a
 couple of minutes); ``--paper-scale`` switches to the paper's full set
@@ -59,7 +61,7 @@ from repro.runner import (
     ShardTimeoutError,
 )
 from repro.runner.cache import DEFAULT_CACHE_DIR
-from repro.telemetry import Telemetry, session
+from repro.telemetry import RunLedger, Telemetry, session
 from repro import experiments as exp
 
 # Exit codes (see ROBUSTNESS.md): distinct failure modes get distinct
@@ -360,6 +362,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(parallel runs only; default: no timeout)",
     )
     parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append this run to the ledger (.repro-cache/ledger.jsonl, "
+        "read by 'repro report'); implied by --no-cache",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -381,6 +389,9 @@ def build_runner(args: argparse.Namespace) -> ExperimentRunner:
         raise SystemExit("--jobs must be >= 1")
     if args.max_failed_shards < 0:
         raise SystemExit("--max-failed-shards must be >= 0")
+    ledger = None
+    if not args.no_cache and not getattr(args, "no_ledger", False):
+        ledger = RunLedger(args.cache_dir)
     return ExperimentRunner(
         jobs=args.jobs,
         root_seed=args.seed,
@@ -392,6 +403,7 @@ def build_runner(args: argparse.Namespace) -> ExperimentRunner:
         max_failed_shards=args.max_failed_shards,
         fail_fast=args.fail_fast,
         checkpoint=args.checkpoint,
+        ledger=ledger,
     )
 
 
@@ -559,6 +571,20 @@ def _write_telemetry(
         with open(args.metrics, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
         print(f"[telemetry] wrote metrics snapshot to {args.metrics}")
+        histograms = payload["metrics"].get("histograms", {})
+        if histograms:
+            width = max(len(name) for name in histograms)
+            print(f"[telemetry] {'histogram':{width}s}  {'count':>8s}"
+                  f"  {'p50':>10s}  {'p95':>10s}  {'p99':>10s}")
+            for name in sorted(histograms):
+                snap = histograms[name]
+                pct = snap.get("percentiles", {})
+                print(
+                    f"[telemetry] {name:{width}s}  {snap.get('count', 0):8d}"
+                    f"  {pct.get('p50', 0.0):10.2f}"
+                    f"  {pct.get('p95', 0.0):10.2f}"
+                    f"  {pct.get('p99', 0.0):10.2f}"
+                )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -571,6 +597,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "report":
+        # Same deal: `repro report [exp]` reads the run ledger and renders
+        # the signal-quality dashboard (see repro.telemetry.report).
+        from repro.telemetry.report import report_main
+
+        return report_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "run":
         if args.target is None:

@@ -60,6 +60,14 @@ class RingSizeAblationResult:
     mean_buffers_per_hot_set: list[float]
     ring_revolution_seconds: list[float]
 
+    def headline_metrics(self) -> dict[str, float]:
+        if not self.ring_sizes:
+            return {}
+        return {
+            "min_unique_buffer_fraction": min(self.unique_buffer_fraction),
+            "max_revolution_ms": max(self.ring_revolution_seconds) * 1e3,
+        }
+
     def format_rows(self) -> list[str]:
         rows = ["Ablation: ring size as a mitigation (§VI-c)"]
         rows.append("  ring   unique-buffer%   buffers/hot-set   revolution(ms)")
@@ -143,6 +151,14 @@ class RandomizationIntervalResult:
     intervals: list[int]
     out_of_sync_rates: list[float]
     packets_seen: list[int]
+
+    def headline_metrics(self) -> dict[str, float]:
+        if not self.out_of_sync_rates:
+            return {}
+        return {
+            "baseline_out_of_sync": self.out_of_sync_rates[0],
+            "worst_out_of_sync": max(self.out_of_sync_rates),
+        }
 
     def format_rows(self) -> list[str]:
         rows = ["Ablation: partial randomization interval vs chase quality"]
@@ -232,6 +248,14 @@ class DdioWaysResult:
     ways: list[int]
     error_rates: list[float]
 
+    def headline_metrics(self) -> dict[str, float]:
+        if not self.error_rates:
+            return {}
+        return {
+            "min_error": min(self.error_rates),
+            "max_error": max(self.error_rates),
+        }
+
     def format_rows(self) -> list[str]:
         rows = ["Ablation: DDIO write-allocate ways vs covert error rate"]
         rows.append("  io-ways   error")
@@ -305,6 +329,14 @@ class ProbeRateResult:
 
     probe_rates_hz: list[float]
     error_rates: list[float]
+
+    def headline_metrics(self) -> dict[str, float]:
+        if not self.error_rates:
+            return {}
+        return {
+            "min_seq_error": min(self.error_rates),
+            "max_seq_error": max(self.error_rates),
+        }
 
     def format_rows(self) -> list[str]:
         rows = ["Ablation: probe rate vs sequence recovery error"]

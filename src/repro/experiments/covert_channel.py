@@ -48,6 +48,16 @@ class Fig10Result:
     sent: list[int]
     received: list[int]
 
+    def headline_metrics(self) -> dict[str, float]:
+        n = min(len(self.sent), len(self.received))
+        matched = sum(
+            1 for s, r in zip(self.sent[:n], self.received[:n]) if s == r
+        )
+        return {
+            "match_fraction": matched / len(self.sent) if self.sent else 0.0,
+            "symbols_received": float(len(self.received)),
+        }
+
     def format_rows(self) -> list[str]:
         return [
             "Fig.10: ternary decode of repeating '201' pattern",
@@ -84,6 +94,17 @@ class Fig11Result:
     probe_rates_khz: list[float]
     binary: list[ChannelReport]
     ternary: list[ChannelReport]
+
+    def headline_metrics(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for name, reports in (("binary", self.binary), ("ternary", self.ternary)):
+            if not reports:
+                continue
+            out[f"{name}_best_bps"] = max(r.bandwidth_bps for r in reports)
+            out[f"{name}_mean_error"] = sum(r.error_rate for r in reports) / len(
+                reports
+            )
+        return out
 
     def format_rows(self) -> list[str]:
         rows = ["Fig.11: covert channel capacity (single buffer)"]
@@ -175,6 +196,15 @@ class Fig12MultiBufferResult:
     n_buffers: list[int]
     reports: list[ChannelReport]
 
+    def headline_metrics(self) -> dict[str, float]:
+        if not self.reports:
+            return {}
+        return {
+            "peak_kbps": max(r.bandwidth_bps for r in self.reports) / 1000.0,
+            "mean_error": sum(r.error_rate for r in self.reports)
+            / len(self.reports),
+        }
+
     def format_rows(self) -> list[str]:
         rows = ["Fig.12a/b: multi-buffer channel"]
         rows.append("  buffers   kbps      error")
@@ -252,6 +282,17 @@ class Fig12ChaseResult:
     rates_kbps: list[float]
     reports: list[ChannelReport]
     out_of_sync_rates: list[float]
+
+    def headline_metrics(self) -> dict[str, float]:
+        if not self.reports:
+            return {}
+        return {
+            "peak_kbps": max(r.bandwidth_bps for r in self.reports) / 1000.0,
+            "mean_error": sum(r.error_rate for r in self.reports)
+            / len(self.reports),
+            "mean_out_of_sync": sum(self.out_of_sync_rates)
+            / len(self.out_of_sync_rates),
+        }
 
     def format_rows(self) -> list[str]:
         rows = ["Fig.12c/d: full packet chasing channel (1 symbol/packet)"]

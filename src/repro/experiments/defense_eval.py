@@ -68,6 +68,13 @@ class Fig14Result:
             return 0.0
         return 100.0 * (1 - self.adaptive_krps[i] / self.ddio_krps[i])
 
+    def headline_metrics(self) -> dict[str, float]:
+        losses = [self.loss_percent(i) for i in range(len(self.llc_labels))]
+        return {
+            "max_throughput_loss_percent": max(losses) if losses else 0.0,
+            "peak_ddio_krps": max(self.ddio_krps) if self.ddio_krps else 0.0,
+        }
+
     def format_rows(self) -> list[str]:
         rows = ["Fig.14: Nginx throughput (kilo-requests/s)"]
         rows.append("  LLC        DDIO      adaptive   loss")
@@ -139,6 +146,18 @@ class Fig15Result:
         nw = cell.writes / base.writes if base.writes else 0.0
         return nr, nw, cell.miss_rate
 
+    def headline_metrics(self) -> dict[str, float]:
+        headline: dict[str, float] = {}
+        for variant in ("ddio", "adaptive"):
+            reads = [
+                self.normalised(w, variant)[0]
+                for w in self.workloads
+                if (w, variant) in self.cells and (w, "no-ddio") in self.cells
+            ]
+            if reads:
+                headline[f"{variant}_norm_reads_max"] = max(reads)
+        return headline
+
     def format_rows(self) -> list[str]:
         rows = ["Fig.15: normalised memory traffic and LLC miss rate"]
         rows.append("  workload   variant     reads   writes   missrate")
@@ -197,6 +216,18 @@ class Fig16Result:
         base = self.reports["baseline"].percentiles_ms()[99.0]
         this = self.reports[scheme].percentiles_ms()[99.0]
         return 100.0 * (this / base - 1) if base else 0.0
+
+    def headline_metrics(self) -> dict[str, float]:
+        headline: dict[str, float] = {}
+        if "baseline" not in self.reports:
+            return headline
+        for scheme, key in (
+            ("full-random", "full_random_p99_overhead_percent"),
+            ("adaptive", "adaptive_p99_overhead_percent"),
+        ):
+            if scheme in self.reports:
+                headline[key] = self.p99_overhead_percent(scheme)
+        return headline
 
     def format_rows(self) -> list[str]:
         rows = ["Fig.16: HTTP response latency percentiles (ms)"]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -30,6 +30,8 @@ from repro.core.machine import Machine
 from repro.net.traffic import PoissonNoise
 from repro.net.websites import LoginTraceFactory, WebsiteCorpus
 from repro.runner import ExperimentRunner, Shard, TrialSpec, default_runner
+from repro.telemetry import current_telemetry
+from repro.telemetry.quality import quality_registry, record_confusion
 
 
 def _fingerprint_rig(
@@ -88,6 +90,16 @@ class Fig13Result:
         same = sum(1 for i in range(n) if original[i] == recovered[i])
         return same / n
 
+    def headline_metrics(self) -> dict[str, float]:
+        return {
+            "success_match_fraction": self._match_fraction(
+                self.success_original, self.success_recovered
+            ),
+            "failure_match_fraction": self._match_fraction(
+                self.failure_original, self.failure_recovered
+            ),
+        }
+
     def format_rows(self) -> list[str]:
         return [
             "Fig.13: hotcrp login traces (first 100 packets, block sizes)",
@@ -134,6 +146,16 @@ class FingerprintAccuracyResult:
     accuracy_no_ddio: float
     sites: list[str]
     trials_per_site: int
+    #: (true site, predicted site) -> count, per DDIO mode.  Defaults keep
+    #: results pickled before this field existed loadable.
+    confusion_ddio: dict = field(default_factory=dict)
+    confusion_no_ddio: dict = field(default_factory=dict)
+
+    def headline_metrics(self) -> dict[str, float]:
+        return {
+            "accuracy_ddio": self.accuracy_ddio,
+            "accuracy_no_ddio": self.accuracy_no_ddio,
+        }
 
     def format_rows(self) -> list[str]:
         return [
@@ -233,7 +255,9 @@ def _accuracy_eval_shard(config: MachineConfig, params: dict, shard: Shard) -> l
             )
             trace = collector.capture_load(load_trace)
             classifier = _classifier_for(params, ddio)
-            tally[ddio] = classifier.classify(trace) == site
+            predicted = classifier.classify(trace)
+            tally[ddio] = predicted == site
+            tally[f"pred_{ddio}"] = predicted
         tallies.append(tally)
     return tallies
 
@@ -306,16 +330,27 @@ def run_fingerprint_accuracy(
 
     def reduce(shard_results: list) -> FingerprintAccuracyResult:
         correct = {True: 0, False: 0}
+        confusion: dict[bool, dict] = {True: {}, False: {}}
         total = 0
         for tally in (t for sub in shard_results for t in sub):
             total += 1
-            correct[True] += bool(tally[True])
-            correct[False] += bool(tally[False])
+            for ddio in (True, False):
+                correct[ddio] += bool(tally[ddio])
+                predicted = tally.get(f"pred_{ddio}")
+                if predicted is not None:  # absent in pre-confusion caches
+                    cell = (tally["site"], predicted)
+                    confusion[ddio][cell] = confusion[ddio].get(cell, 0) + 1
+        registry = quality_registry(current_telemetry())
+        if registry is not None:
+            record_confusion(registry, confusion[True], "ddio")
+            record_confusion(registry, confusion[False], "no_ddio")
         return FingerprintAccuracyResult(
             accuracy_ddio=correct[True] / max(1, total),
             accuracy_no_ddio=correct[False] / max(1, total),
             sites=sites,
             trials_per_site=trials_per_site,
+            confusion_ddio=confusion[True],
+            confusion_no_ddio=confusion[False],
         )
 
     return runner.run(eval_spec, base, _accuracy_eval_shard, reduce)

@@ -34,6 +34,16 @@ class Fig7Result:
     def active_while_idle(self, cutoff: float = 0.02) -> int:
         return sum(1 for a in self.idle_activity if a >= cutoff)
 
+    def headline_metrics(self) -> dict[str, float]:
+        n = len(self.set_labels) or 1
+        idle = self.active_while_idle() / n
+        receiving = self.active_while_receiving() / n
+        return {
+            "idle_active_fraction": idle,
+            "receiving_active_fraction": receiving,
+            "footprint_contrast": receiving - idle,
+        }
+
     def format_rows(self) -> list[str]:
         n = len(self.set_labels)
         return [
@@ -91,6 +101,29 @@ class Fig8Result:
 
     def lit(self, block_row: int, size_run: int) -> bool:
         return self.activity[block_row][size_run - 1] >= self.active_cutoff
+
+    def headline_metrics(self) -> dict[str, float]:
+        """Diagonal contrast: mean activity where packets *should* land
+        (block < size, plus the prefetched block 1) minus where they
+        shouldn't — the distinguishability Fig. 8 argues for."""
+        expected: list[float] = []
+        unexpected: list[float] = []
+        for block_row, row in enumerate(self.activity):
+            for col, value in enumerate(row):
+                size_run = col + 1
+                if block_row < size_run or block_row == 1:
+                    expected.append(value)
+                else:
+                    unexpected.append(value)
+        mean_expected = sum(expected) / len(expected) if expected else 0.0
+        mean_unexpected = (
+            sum(unexpected) / len(unexpected) if unexpected else 0.0
+        )
+        return {
+            "expected_block_activity": mean_expected,
+            "unexpected_block_activity": mean_unexpected,
+            "footprint_contrast": mean_expected - mean_unexpected,
+        }
 
     def format_rows(self) -> list[str]:
         rows = ["Fig.8: rows = monitored block, cols = packet size (blocks)"]

@@ -41,6 +41,13 @@ class Fig5Result:
     def max_buffers_on_one_set(self) -> int:
         return max(self.counts) if self.counts else 0
 
+    def headline_metrics(self) -> dict[str, float]:
+        n = self.n_page_aligned_sets or 1
+        return {
+            "empty_set_fraction": self.empty_sets / n,
+            "max_buffers_on_one_set": float(self.max_buffers_on_one_set),
+        }
+
     def format_rows(self) -> list[str]:
         rows = [
             f"Fig.5: {self.n_buffers} buffers over "
@@ -69,6 +76,15 @@ class Fig6Result:
         """Fraction of page-aligned sets with no buffer (paper: ~35%)."""
         total = self.instances * self.sets_per_instance
         return self.histogram.get(0, 0) / total
+
+    def headline_metrics(self) -> dict[str, float]:
+        return {
+            "empty_set_fraction": self.fraction_empty(),
+            "sets_per_instance": float(self.sets_per_instance),
+            "max_buffers_on_one_set": float(
+                max(self.histogram) if self.histogram else 0
+            ),
+        }
 
     def format_rows(self) -> list[str]:
         rows = [f"Fig.6: {self.instances} driver initialisations"]

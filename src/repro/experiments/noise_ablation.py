@@ -32,6 +32,15 @@ class NoiseAblationResult:
     #: Total fault events injected at each level (all domains summed).
     faults_injected: list[int]
 
+    def headline_metrics(self) -> dict[str, float]:
+        if not self.error_rates:
+            return {}
+        return {
+            "clean_error": self.error_rates[0],
+            "heaviest_error": self.error_rates[-1],
+            "faults_injected_total": float(sum(self.faults_injected)),
+        }
+
     def format_rows(self) -> list[str]:
         rows = ["Ablation: fault-injection intensity vs covert bit recovery"]
         rows.append("  intensity   bit-accuracy   error   faults injected")

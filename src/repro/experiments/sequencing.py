@@ -19,6 +19,11 @@ from repro.analysis.levenshtein import (
     cyclic_levenshtein,
     longest_mismatch_run,
 )
+from repro.telemetry.quality import (
+    quality_registry,
+    record_divergence,
+    windowed_divergence,
+)
 from repro.attack.evictionset import OracleEvictionSetBuilder
 from repro.attack.groundtruth import true_group_sequence
 from repro.attack.sequencer import Sequencer, SequencerConfig
@@ -40,6 +45,19 @@ class Table1Result:
     profiling_seconds: float
     n_monitored: int
     n_samples: int
+    #: windowed ground-truth divergence (defaults keep old pickles loadable)
+    divergence: float = 0.0
+    divergence_worst_window: float = 0.0
+
+    def headline_metrics(self) -> dict[str, float]:
+        return {
+            "seq_error_rate": self.error_rate,
+            "seq_distance": float(self.distance),
+            "longest_mismatch": float(self.longest_mismatch),
+            "divergence": self.divergence,
+            "divergence_worst_window": self.divergence_worst_window,
+            "profiling_seconds": self.profiling_seconds,
+        }
 
     def format_rows(self) -> list[str]:
         return [
@@ -51,6 +69,7 @@ class Table1Result:
             f"  Levenshtein:       {self.distance}",
             f"  error rate:        {self.error_rate:.1%}  (paper: 9.8%)",
             f"  longest mismatch:  {self.longest_mismatch}  (paper: 5.2)",
+            f"  worst window:      {self.divergence_worst_window:.1%} divergence",
             f"  profiling time:    {self.profiling_seconds:.2f} simulated s",
         ]
 
@@ -116,6 +135,10 @@ def run_table1(
     truth = true_group_sequence(machine, spy, sequencer.groups)
     distance = cyclic_levenshtein(recovered, truth)
     aligned_truth = best_rotation(recovered, truth)
+    report = windowed_divergence(recovered, truth)
+    registry = quality_registry(machine.telemetry)
+    if registry is not None:
+        record_divergence(registry, report)
     return Table1Result(
         recovered=recovered,
         truth=truth,
@@ -125,4 +148,6 @@ def run_table1(
         profiling_seconds=profiling_seconds,
         n_monitored=n_monitored,
         n_samples=n_samples,
+        divergence=report.overall,
+        divergence_worst_window=report.worst,
     )

@@ -25,6 +25,7 @@ the same key resumes from those entries instead of re-executing.
 
 from __future__ import annotations
 
+import sys
 from typing import Any, Callable
 
 from repro.core.config import MachineConfig
@@ -34,9 +35,11 @@ from repro.runner.progress import ProgressHook, RunnerMetrics
 from repro.runner.spec import Shard, ShardPlan, TrialSpec
 from repro.telemetry import (
     PhaseTimer,
+    RunLedger,
     TelemetrizedShardFn,
     current_telemetry,
     merge_shard_payloads,
+    record_for_run,
 )
 
 #: reduce_fn(ordered per-shard results) -> experiment result object
@@ -64,6 +67,7 @@ class ExperimentRunner:
         max_failed_shards: int = 0,
         fail_fast: bool = False,
         checkpoint: bool = False,
+        ledger: RunLedger | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -82,6 +86,10 @@ class ExperimentRunner:
         self.max_failed_shards = max_failed_shards
         self.fail_fast = fail_fast
         self.checkpoint = checkpoint
+        #: When set, every run (live, cached or partial) appends a record
+        #: to the persistent ledger for `repro report` (best-effort: a
+        #: ledger write failure never fails the run).
+        self.ledger = ledger
         #: Metrics of every run this runner performed, in order.
         self.history: list[RunnerMetrics] = []
 
@@ -106,6 +114,25 @@ class ExperimentRunner:
         if self.use_cache:
             self.cache.store(experiment, key, result)
 
+    def _ledger_emit(
+        self,
+        experiment: str,
+        config: MachineConfig,
+        root_seed: int,
+        metrics: RunnerMetrics,
+        result: Any,
+    ) -> None:
+        """Append one run record; headline metrics come from the reduced
+        result object, so the record is bit-identical at any ``--jobs``."""
+        if self.ledger is None:
+            return
+        try:
+            self.ledger.append(
+                record_for_run(experiment, config, root_seed, metrics, result)
+            )
+        except Exception as error:  # noqa: BLE001 - observability must not kill runs
+            print(f"[ledger] append failed: {error}", file=sys.stderr)
+
     # -- sharded experiments ------------------------------------------
     def run(
         self,
@@ -125,6 +152,7 @@ class ExperimentRunner:
         )
         cached = self._try_cache(spec.experiment, key, metrics)
         if cached is not MISS:
+            self._ledger_emit(spec.experiment, config, root_seed, metrics, cached)
             return cached
 
         telemetry = current_telemetry()
@@ -227,6 +255,9 @@ class ExperimentRunner:
                     )
         self.progress.on_finish(metrics)
         self.history.append(metrics)
+        # Partial runs are recorded too (flagged via metrics.partial), so
+        # the ledger shows degraded runs rather than silently omitting them.
+        self._ledger_emit(spec.experiment, config, root_seed, metrics, result)
         return result
 
     # -- unsharded experiments ----------------------------------------
@@ -243,6 +274,7 @@ class ExperimentRunner:
         metrics = RunnerMetrics(experiment=experiment, jobs=self.jobs)
         cached = self._try_cache(experiment, key, metrics)
         if cached is not MISS:
+            self._ledger_emit(experiment, config, root_seed, metrics, cached)
             return cached
         telemetry = current_telemetry()
         timer = PhaseTimer(
@@ -255,6 +287,7 @@ class ExperimentRunner:
         metrics.phase_seconds = dict(timer.seconds)
         self._store(experiment, key, result)
         self.history.append(metrics)
+        self._ledger_emit(experiment, config, root_seed, metrics, result)
         return result
 
 

@@ -12,7 +12,13 @@ makes every run inspectable on exactly those axes:
   machines pick telemetry up from;
 * :mod:`repro.telemetry.profile` — wall-clock phase timing for the runner;
 * :mod:`repro.telemetry.shard` — cross-process capture so ``--jobs N``
-  runs lose nothing.
+  runs lose nothing;
+* :mod:`repro.telemetry.quality` — channel-quality estimators (SNR,
+  threshold margin, recovery divergence, BER breakdown) fed by the
+  attack/analysis hook sites;
+* :mod:`repro.telemetry.ledger` — the append-only, checksummed
+  ``ledger.jsonl`` every runner invocation records itself into;
+* :mod:`repro.telemetry.report` — the ``repro report`` dashboard over it.
 
 See OBSERVABILITY.md for the API guide, how to open traces in Perfetto,
 and measured overhead.  Telemetry is opt-in: with nothing installed every
@@ -33,7 +39,20 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.ledger import (
+    LedgerRecord,
+    RunLedger,
+    headline_metrics_of,
+    record_for_run,
+)
 from repro.telemetry.profile import PhaseTimer
+from repro.telemetry.quality import (
+    DivergenceReport,
+    metric_orientation,
+    quality_registry,
+    windowed_divergence,
+)
+from repro.telemetry.report import render_html, render_report, report_main
 from repro.telemetry.shard import (
     SHARD_PID_BASE,
     ShardTelemetryPayload,
@@ -53,6 +72,17 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "PhaseTimer",
+    "LedgerRecord",
+    "RunLedger",
+    "headline_metrics_of",
+    "record_for_run",
+    "DivergenceReport",
+    "metric_orientation",
+    "quality_registry",
+    "windowed_divergence",
+    "render_html",
+    "render_report",
+    "report_main",
     "SHARD_PID_BASE",
     "ShardTelemetryPayload",
     "TelemetrizedShardFn",

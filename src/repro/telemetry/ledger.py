@@ -1,0 +1,282 @@
+"""Append-only, checksummed JSONL run ledger.
+
+Every runner invocation — cached or live, full or partial — appends one
+record to ``<cache-dir>/ledger.jsonl`` describing what ran (experiment,
+config hash, backend, fault profile, seed, job count) and how well it went
+(the experiment's ``headline_metrics()`` dict plus shard/wall bookkeeping).
+Records survive the process, so ``repro report`` can chart the quality
+trajectory across runs the way EXPERIMENTS.md charts it across PRs.
+
+Integrity mirrors the result cache's v2 format: each line carries a
+SHA-256 checksum over the canonical JSON of its record, and lines that
+fail to parse or verify are quarantined to ``<cache-dir>/quarantine/``
+(and dropped from the ledger) instead of poisoning every later read.
+
+Headline metrics come from *reduced results*, never from the ambient
+metrics registry, so a record is bit-identical at any ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+#: Same directory the result cache lives in; duplicated (not imported from
+#: ``repro.runner.cache``) to keep telemetry free of runner imports.
+DEFAULT_LEDGER_DIR = ".repro-cache"
+LEDGER_FILENAME = "ledger.jsonl"
+QUARANTINE_DIR = "quarantine"
+LEDGER_SCHEMA_VERSION = 1
+
+#: Golden schema: every record dict carries exactly these keys (tested).
+RECORD_FIELDS = (
+    "schema",
+    "kind",
+    "experiment",
+    "timestamp",
+    "config_hash",
+    "backend",
+    "faults",
+    "seed",
+    "jobs",
+    "cache_hit",
+    "partial",
+    "shards_done",
+    "shards_total",
+    "trials",
+    "wall_seconds",
+    "phase_seconds",
+    "headline",
+)
+
+
+def record_checksum(record: dict) -> str:
+    """SHA-256 over the canonical (sorted, compact) JSON of ``record``."""
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class LedgerRecord:
+    """One ledger line: provenance plus headline quality metrics."""
+
+    experiment: str
+    kind: str = "run"  # "run" (experiment) or "bench" (hot-path numbers)
+    timestamp: float = 0.0
+    config_hash: str = ""
+    backend: str = "modulo"
+    faults: str = "off"
+    seed: int | None = None
+    jobs: int = 1
+    cache_hit: bool = False
+    partial: bool = False
+    shards_done: int = 0
+    shards_total: int = 0
+    trials: int = 0
+    wall_seconds: float = 0.0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    headline: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["schema"] = LEDGER_SCHEMA_VERSION
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LedgerRecord":
+        known = {
+            k: v for k, v in payload.items() if k in RECORD_FIELDS and k != "schema"
+        }
+        return cls(**known)
+
+
+def headline_metrics_of(result: Any) -> dict[str, float]:
+    """``result.headline_metrics()`` as a sorted, finite, float-only dict.
+
+    Results without the method (plain payloads, legacy pickles) yield an
+    empty dict; NaN/inf values (e.g. a skipped fingerprint leg) are dropped
+    so every record is strict-JSON safe.
+    """
+    fn = getattr(result, "headline_metrics", None)
+    if not callable(fn):
+        return {}
+    out: dict[str, float] = {}
+    for key, value in fn().items():
+        try:
+            v = float(value)
+        except (TypeError, ValueError):
+            continue
+        if math.isfinite(v):
+            out[str(key)] = v
+    return dict(sorted(out.items()))
+
+
+def record_for_run(
+    experiment: str,
+    config: Any,
+    root_seed: int | None,
+    metrics: Any,
+    result: Any,
+) -> LedgerRecord:
+    """Build a run record from runner bookkeeping + a reduced result.
+
+    ``metrics`` is the runner's ``RunnerMetrics`` (duck-typed so the
+    telemetry layer stays import-free of the runner package).
+    """
+    faults = getattr(config, "faults", None)
+    return LedgerRecord(
+        experiment=experiment,
+        kind="run",
+        timestamp=time.time(),
+        config_hash=getattr(config, "config_hash", lambda: "")(),
+        backend=getattr(config, "cache_backend", "modulo"),
+        faults=getattr(faults, "profile", "off") if faults is not None else "off",
+        seed=root_seed,
+        jobs=getattr(metrics, "jobs", 1),
+        cache_hit=getattr(metrics, "cache_hit", False),
+        partial=getattr(metrics, "partial", False),
+        shards_done=getattr(metrics, "shards_done", 0),
+        shards_total=getattr(metrics, "shards_total", 0),
+        trials=getattr(metrics, "trials_done", 0),
+        wall_seconds=getattr(metrics, "wall_seconds", 0.0),
+        phase_seconds=dict(getattr(metrics, "phase_seconds", {}) or {}),
+        headline=headline_metrics_of(result),
+    )
+
+
+@dataclass
+class LedgerStats:
+    appended: int = 0
+    read: int = 0
+    quarantined: int = 0
+
+
+class RunLedger:
+    """Append/scan interface over one ``ledger.jsonl`` file."""
+
+    def __init__(self, root: str | Path = DEFAULT_LEDGER_DIR) -> None:
+        self.root = Path(root)
+        self.path = self.root / LEDGER_FILENAME
+        self.stats = LedgerStats()
+
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / QUARANTINE_DIR
+
+    # -- write --------------------------------------------------------
+    def append(self, record: LedgerRecord) -> None:
+        payload = record.to_dict()
+        line = json.dumps(
+            {"record": payload, "checksum": record_checksum(payload)},
+            sort_keys=True,
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+        self.stats.appended += 1
+
+    # -- read ---------------------------------------------------------
+    @staticmethod
+    def _parse_line(line: str) -> LedgerRecord | None:
+        """A verified record, or ``None`` for anything malformed."""
+        try:
+            wrapper = json.loads(line)
+        except (ValueError, TypeError):
+            return None
+        if not isinstance(wrapper, dict):
+            return None
+        payload = wrapper.get("record")
+        checksum = wrapper.get("checksum")
+        if not isinstance(payload, dict) or checksum != record_checksum(payload):
+            return None
+        if payload.get("schema") != LEDGER_SCHEMA_VERSION:
+            return None
+        if not isinstance(payload.get("experiment"), str):
+            return None
+        try:
+            return LedgerRecord.from_dict(payload)
+        except TypeError:
+            return None
+
+    def records(
+        self, experiment: str | None = None, kind: str | None = None
+    ) -> list[LedgerRecord]:
+        """All verified records, in append order, oldest first.
+
+        Malformed lines (bad JSON, checksum mismatch, unknown schema) are
+        moved to the quarantine file and the ledger is rewritten without
+        them, mirroring the result cache's corrupt-entry handling.
+
+        ``experiment`` matches exactly or as a dashed prefix, so e.g.
+        ``accuracy`` also selects its ``accuracy-train``/``accuracy-eval``
+        sub-phases.
+        """
+        if not self.path.exists():
+            return []
+        good: list[tuple[str, LedgerRecord]] = []
+        bad: list[str] = []
+        with self.path.open("r", encoding="utf-8") as fh:
+            for raw in fh:
+                line = raw.rstrip("\n")
+                if not line.strip():
+                    continue
+                record = self._parse_line(line)
+                if record is None:
+                    bad.append(line)
+                else:
+                    good.append((line, record))
+        if bad:
+            self._quarantine(bad, [line for line, _ in good])
+        out = [record for _, record in good]
+        self.stats.read += len(out)
+        if experiment is not None:
+            out = [
+                r
+                for r in out
+                if r.experiment == experiment
+                or r.experiment.startswith(experiment + "-")
+            ]
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        return out
+
+    def experiments(self) -> list[str]:
+        """Distinct experiment names in the ledger, append order."""
+        seen: dict[str, None] = {}
+        for record in self.records():
+            seen.setdefault(record.experiment, None)
+        return list(seen)
+
+    def _quarantine(self, bad: Iterable[str], good: list[str]) -> None:
+        """Move bad lines aside and rewrite the ledger with good ones."""
+        bad = list(bad)
+        try:
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+            qpath = self.quarantine_root / LEDGER_FILENAME
+            with qpath.open("a", encoding="utf-8") as fh:
+                for line in bad:
+                    fh.write(line + "\n")
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.root), prefix=LEDGER_FILENAME, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    for line in good:
+                        fh.write(line + "\n")
+                os.replace(tmp, self.path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return  # best-effort: a read-only ledger still serves records
+        self.stats.quarantined += len(bad)

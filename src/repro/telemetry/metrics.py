@@ -54,12 +54,13 @@ class Histogram:
     histograms with identical edges merge by adding their bucket counts.
     """
 
-    __slots__ = ("buckets", "counts", "sum", "count", "min", "max")
+    __slots__ = ("buckets", "_edges", "counts", "sum", "count", "min", "max")
 
     def __init__(self, buckets: tuple[float, ...] = PROBE_LATENCY_BUCKETS) -> None:
         if not buckets or list(buckets) != sorted(buckets):
             raise ValueError(f"bucket edges must be non-empty and ascending: {buckets}")
         self.buckets = tuple(buckets)
+        self._edges = np.asarray(buckets, dtype=np.float64)
         self.counts = [0] * (len(buckets) + 1)
         self.sum = 0.0
         self.count = 0
@@ -90,7 +91,7 @@ class Histogram:
         arr = np.asarray(values, dtype=np.float64)
         if arr.size == 0:
             return
-        idx = np.searchsorted(np.asarray(self.buckets), arr, side="left")
+        idx = np.searchsorted(self._edges, arr, side="left")
         binned = np.bincount(idx, minlength=len(self.buckets) + 1)
         for i, n in enumerate(binned):
             if n:
@@ -108,6 +109,40 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated percentile estimate, ``q`` in [0, 100].
+
+        Ranks are interpolated linearly inside the bucket that contains the
+        target rank; the first bucket's lower edge is the observed minimum
+        and the overflow bucket's upper edge is the observed maximum, so
+        estimates never leave the observed value range.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100]: {q}")
+        if self.count == 0 or self.min is None or self.max is None:
+            return 0.0
+        target = (q / 100.0) * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if not n:
+                continue
+            lo = self.buckets[i - 1] if i > 0 else self.min
+            hi = self.buckets[i] if i < len(self.buckets) else self.max
+            lo = max(float(lo), self.min)
+            hi = min(float(hi), self.max)
+            if cumulative + n >= target:
+                fraction = (target - cumulative) / n
+                value = lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
+                return float(min(max(value, self.min), self.max))
+            cumulative += n
+        return float(self.max)
+
+    def percentiles(
+        self, qs: tuple[float, ...] = (50.0, 95.0, 99.0)
+    ) -> dict[str, float]:
+        """``{"p50": ..., ...}`` via :meth:`percentile` (snapshot-friendly)."""
+        return {f"p{q:g}": self.percentile(q) for q in qs}
+
     def to_dict(self) -> dict:
         return {
             "buckets": list(self.buckets),
@@ -116,6 +151,9 @@ class Histogram:
             "count": self.count,
             "min": self.min,
             "max": self.max,
+            # Derived, ignored by merge_dict (which folds raw counts and
+            # recomputes): here so JSON snapshots carry p50/p95/p99.
+            "percentiles": self.percentiles(),
         }
 
     def merge_dict(self, snap: dict) -> None:

@@ -1,0 +1,384 @@
+"""`repro report` — render the run ledger as a quality dashboard.
+
+Reads ``<cache-dir>/ledger.jsonl`` (:mod:`repro.telemetry.ledger`) and
+renders, per experiment: the latest run's provenance, every headline
+metric against the trailing run with a delta column, a backend x
+fault-profile matrix of the experiment's primary metric, and a short run
+history.  Regressions use the same >20% floor the hot-path bench gate
+uses for ``sweep_speedup``, oriented per metric (error rates regress
+upward, bandwidths regress downward, descriptive metrics never gate).
+
+Markdown is the native output; ``--html`` wraps the same tables in a
+minimal standalone page.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html as html_module
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.telemetry.ledger import DEFAULT_LEDGER_DIR, LedgerRecord, RunLedger
+from repro.telemetry.quality import metric_orientation
+
+#: Same regression floor CI applies to sweep_speedup (scripts/bench_hotpath).
+REGRESSION_TOLERANCE = 0.20
+
+#: Priority substrings for picking one "primary" metric per experiment for
+#: the backend x faults matrix (first match wins, else first key).
+_PRIMARY_PRIORITY = ("error", "divergence", "accuracy", "out_of_sync", "bps")
+
+
+@dataclass
+class ReportResult:
+    """Rendered dashboard plus the regressions it flagged."""
+
+    markdown: str
+    experiments: list[str] = field(default_factory=list)
+    regressions: list[str] = field(default_factory=list)
+
+
+def relative_regression(name: str, current: float, previous: float) -> float:
+    """Degradation of ``current`` vs ``previous``, oriented and normalized.
+
+    Positive values mean "worse"; the change is scaled by the larger
+    magnitude of the two values so a 0 -> 0.01 error-rate jump registers
+    as total (1.0) degradation instead of dividing by zero.
+    """
+    orientation = metric_orientation(name)
+    if orientation == "info":
+        return 0.0
+    scale = max(abs(previous), abs(current))
+    if scale == 0:
+        return 0.0
+    delta = (current - previous) / scale
+    return delta if orientation == "lower" else -delta
+
+
+def primary_metric(headline: dict[str, float]) -> str | None:
+    """The one metric worth a matrix cell, by priority substring."""
+    if not headline:
+        return None
+    for token in _PRIMARY_PRIORITY:
+        for name in headline:
+            if token in name.lower():
+                return name
+    return next(iter(headline))
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN guard; ledger records should never carry one
+        return "nan"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _when(timestamp: float) -> str:
+    if not timestamp:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(timestamp))
+
+
+def _delta_rows(
+    current: LedgerRecord,
+    previous: LedgerRecord | None,
+    tolerance: float,
+) -> tuple[list[str], list[str]]:
+    """Headline table rows + regression messages for one experiment."""
+    rows = ["| metric | current | previous | delta | status |", "|---|---|---|---|---|"]
+    regressions: list[str] = []
+    prev_headline = previous.headline if previous is not None else {}
+    for name, value in current.headline.items():
+        if previous is None or name not in prev_headline:
+            rows.append(f"| {name} | {_fmt(value)} | - | - | new |")
+            continue
+        prior = prev_headline[name]
+        degradation = relative_regression(name, value, prior)
+        orientation = metric_orientation(name)
+        if orientation == "info":
+            status = "info"
+        elif degradation > tolerance:
+            status = f"REGRESSED ({degradation:+.0%})"
+            regressions.append(
+                f"{current.experiment}: {name} {_fmt(prior)} -> {_fmt(value)} "
+                f"({degradation:+.0%} worse, tolerance {tolerance:.0%})"
+            )
+        elif degradation < -tolerance:
+            status = f"improved ({-degradation:+.0%})"
+        else:
+            status = "ok"
+        delta = value - prior
+        rows.append(
+            f"| {name} | {_fmt(value)} | {_fmt(prior)} | {delta:+.4g} | {status} |"
+        )
+    return rows, regressions
+
+
+def _matrix_rows(records: list[LedgerRecord]) -> list[str]:
+    """Backend x fault-profile matrix of the primary metric (latest cell)."""
+    latest = records[-1]
+    metric = primary_metric(latest.headline)
+    if metric is None:
+        return []
+    cells: dict[tuple[str, str], float] = {}
+    for record in records:  # append order: later records overwrite
+        if metric in record.headline:
+            cells[(record.backend, record.faults)] = record.headline[metric]
+    backends = sorted({b for b, _ in cells})
+    profiles = sorted({p for _, p in cells})
+    if not backends:
+        return []
+    rows = [
+        f"Primary metric `{metric}`, latest value per backend x fault profile:",
+        "",
+        "| backend \\ faults | " + " | ".join(profiles) + " |",
+        "|---|" + "---|" * len(profiles),
+    ]
+    for backend in backends:
+        row = [f"| {backend}"]
+        for profile in profiles:
+            value = cells.get((backend, profile))
+            row.append(_fmt(value) if value is not None else "-")
+        rows.append(" | ".join(row) + " |")
+    return rows
+
+
+def _history_rows(records: list[LedgerRecord], last: int) -> list[str]:
+    rows = [
+        "| when | kind | seed | jobs | backend | faults | wall (s) | flags | primary |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for record in records[-last:]:
+        flags = []
+        if record.cache_hit:
+            flags.append("cached")
+        if record.partial:
+            flags.append("PARTIAL")
+        metric = primary_metric(record.headline)
+        primary = f"{metric}={_fmt(record.headline[metric])}" if metric else "-"
+        rows.append(
+            f"| {_when(record.timestamp)} | {record.kind} | {record.seed} "
+            f"| {record.jobs} | {record.backend} | {record.faults} "
+            f"| {record.wall_seconds:.2f} | {' '.join(flags) or '-'} | {primary} |"
+        )
+    return rows
+
+
+def render_report(
+    ledger: RunLedger,
+    experiment: str | None = None,
+    last: int = 10,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> ReportResult:
+    """Render the dashboard for one experiment (or every one seen)."""
+    names = (
+        [experiment]
+        if experiment is not None
+        else ledger.experiments()
+    )
+    total = len(ledger.records())  # also quarantines malformed lines up front
+    lines = ["# repro report", ""]
+    lines.append(
+        f"Ledger: `{ledger.path}` "
+        f"({total} record(s), {ledger.stats.quarantined} quarantined)"
+    )
+    result = ReportResult(markdown="")
+    for name in names:
+        records = ledger.records(experiment=name)
+        if not records:
+            lines += ["", f"## {name}", "", "_no ledger records_"]
+            continue
+        result.experiments.append(name)
+        current = records[-1]
+        previous = records[-2] if len(records) > 1 else None
+        lines += ["", f"## {name}", ""]
+        lines.append(
+            f"Latest: {_when(current.timestamp)} — config `{current.config_hash or '-'}`, "
+            f"backend `{current.backend}`, faults `{current.faults}`, "
+            f"seed {current.seed}, jobs {current.jobs}"
+            + (", **partial run**" if current.partial else "")
+            + (", served from cache" if current.cache_hit else "")
+        )
+        if current.shards_total:
+            lines.append(
+                f"Shards {current.shards_done}/{current.shards_total}, "
+                f"trials {current.trials}, wall {current.wall_seconds:.2f}s"
+            )
+        lines.append("")
+        if current.headline:
+            lines.append("### Headline metrics")
+            lines.append("")
+            rows, regressions = _delta_rows(current, previous, tolerance)
+            lines += rows
+            result.regressions += regressions
+        else:
+            lines.append("_no headline metrics recorded_")
+        matrix = _matrix_rows(records)
+        if matrix:
+            lines += ["", "### Backend x fault-profile matrix", ""] + matrix
+        lines += ["", "### History", ""] + _history_rows(records, last)
+    if result.regressions:
+        lines += ["", "## Regressions", ""]
+        lines += [f"- {msg}" for msg in result.regressions]
+    result.markdown = "\n".join(lines) + "\n"
+    return result
+
+
+# ---------------------------------------------------------------------------
+# HTML rendering (markdown subset: headings, tables, paragraphs)
+# ---------------------------------------------------------------------------
+
+_HTML_STYLE = """
+body { font-family: sans-serif; margin: 2em auto; max-width: 70em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #999; padding: 0.25em 0.6em; text-align: left; }
+th { background: #eee; }
+code { background: #f4f4f4; padding: 0 0.2em; }
+"""
+
+
+def _inline(text: str) -> str:
+    """Escape, then render `code` and **bold** spans."""
+    out = html_module.escape(text)
+    for marker, tag in (("**", "strong"), ("`", "code")):
+        parts = out.split(marker)
+        if len(parts) > 2:
+            rebuilt = parts[0]
+            for i, part in enumerate(parts[1:], start=1):
+                rebuilt += (f"<{tag}>" if i % 2 else f"</{tag}>") + part
+            if len(parts) % 2 == 0:  # unbalanced: leave the tail alone
+                rebuilt += marker
+            out = rebuilt
+    return out
+
+
+def render_html(markdown: str, title: str = "repro report") -> str:
+    """Standalone HTML page from this module's markdown subset."""
+    body: list[str] = []
+    table: list[str] = []
+
+    def flush_table() -> None:
+        if not table:
+            return
+        body.append("<table>")
+        for i, row in enumerate(table):
+            cells = [c.strip() for c in row.strip().strip("|").split("|")]
+            if i == 1 and all(set(c) <= set("-: ") for c in cells):
+                continue
+            tag = "th" if i == 0 else "td"
+            body.append(
+                "<tr>"
+                + "".join(f"<{tag}>{_inline(c)}</{tag}>" for c in cells)
+                + "</tr>"
+            )
+        body.append("</table>")
+        table.clear()
+
+    for line in markdown.splitlines():
+        if line.startswith("|"):
+            table.append(line)
+            continue
+        flush_table()
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            level = len(stripped) - len(stripped.lstrip("#"))
+            level = min(level, 4)
+            body.append(f"<h{level}>{_inline(stripped[level:].strip())}</h{level}>")
+        elif stripped.startswith("- "):
+            body.append(f"<p>• {_inline(stripped[2:])}</p>")
+        else:
+            body.append(f"<p>{_inline(stripped)}</p>")
+    flush_table()
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{html_module.escape(title)}</title>"
+        f"<style>{_HTML_STYLE}</style></head>\n<body>\n"
+        + "\n".join(body)
+        + "\n</body></html>\n"
+    )
+
+
+# ---------------------------------------------------------------------------
+# CLI (`repro report [exp]`)
+# ---------------------------------------------------------------------------
+
+
+def build_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Render a quality dashboard from the run ledger.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment to report on (default: every experiment in the ledger)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_LEDGER_DIR,
+        help=f"directory holding ledger.jsonl (default: {DEFAULT_LEDGER_DIR})",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the report here instead of stdout"
+    )
+    parser.add_argument(
+        "--html", action="store_true", help="render HTML instead of markdown"
+    )
+    parser.add_argument(
+        "--last", type=int, default=10, help="history rows per experiment"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=REGRESSION_TOLERANCE,
+        help="regression floor vs the trailing run (default: 0.20)",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero when any headline metric regressed past the floor",
+    )
+    return parser
+
+
+def report_main(argv: list[str] | None = None) -> int:
+    args = build_report_parser().parse_args(argv)
+    ledger = RunLedger(args.cache_dir)
+    if not ledger.path.exists():
+        print(f"no ledger at {ledger.path} — run an experiment first", file=sys.stderr)
+        return 1
+    result = render_report(
+        ledger,
+        experiment=args.experiment,
+        last=args.last,
+        tolerance=args.tolerance,
+    )
+    if args.experiment is not None and not result.experiments:
+        print(
+            f"no ledger records for {args.experiment!r} "
+            f"(ledger has: {', '.join(ledger.experiments()) or 'nothing'})",
+            file=sys.stderr,
+        )
+        return 1
+    output = (
+        render_html(result.markdown, title=f"repro report — {args.experiment or 'all'}")
+        if args.html
+        else result.markdown
+    )
+    if args.out:
+        Path(args.out).write_text(output, encoding="utf-8")
+        print(f"report written to {args.out}")
+    else:
+        print(output, end="")
+    for message in result.regressions:
+        print(f"[report] REGRESSION: {message}", file=sys.stderr)
+    if args.gate and result.regressions:
+        return 1
+    return 0

@@ -1,0 +1,203 @@
+"""`repro report`: rendering, regression gating, CLI dispatch.
+
+Golden-output tests pin the dashboard's structure (sections, delta table,
+backend x faults matrix, history) and the regression logic — the same
+>20% floor the hot-path bench gate uses, oriented per metric.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+from repro.telemetry.ledger import LedgerRecord, RunLedger
+from repro.telemetry.report import (
+    ReportResult,
+    primary_metric,
+    relative_regression,
+    render_html,
+    render_report,
+    report_main,
+)
+
+
+def _record(**overrides) -> LedgerRecord:
+    base = dict(
+        experiment="table1",
+        timestamp=1700000000.0,
+        config_hash="deadbeef",
+        backend="modulo",
+        faults="off",
+        seed=3,
+        jobs=1,
+        shards_done=4,
+        shards_total=4,
+        trials=16,
+        wall_seconds=1.5,
+        headline={"seq_error_rate": 0.10, "divergence": 0.05},
+    )
+    base.update(overrides)
+    return LedgerRecord(**base)
+
+
+class TestRelativeRegression:
+    def test_lower_better_increase_is_degradation(self):
+        assert relative_regression("seq_error_rate", 0.2, 0.1) == pytest.approx(0.5)
+
+    def test_lower_better_decrease_is_improvement(self):
+        assert relative_regression("seq_error_rate", 0.1, 0.2) < 0
+
+    def test_higher_better_drop_is_degradation(self):
+        assert relative_regression("accuracy_ddio", 0.5, 1.0) == pytest.approx(0.5)
+
+    def test_info_metric_never_regresses(self):
+        assert relative_regression("empty_set_fraction", 9.0, 0.1) == 0.0
+
+    def test_zero_to_nonzero_error_is_total_degradation(self):
+        assert relative_regression("seq_error_rate", 0.01, 0.0) == pytest.approx(1.0)
+
+    def test_both_zero_is_no_change(self):
+        assert relative_regression("seq_error_rate", 0.0, 0.0) == 0.0
+
+
+class TestPrimaryMetric:
+    def test_prefers_error_metrics(self):
+        assert primary_metric({"wall": 1.0, "seq_error_rate": 0.1}) == "seq_error_rate"
+
+    def test_falls_back_to_first_key(self):
+        assert primary_metric({"foo": 1.0, "bar": 2.0}) == "foo"
+
+    def test_empty_headline(self):
+        assert primary_metric({}) is None
+
+
+class TestRenderReport:
+    def test_single_run_renders_new_rows(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(_record())
+        result = render_report(ledger)
+        assert isinstance(result, ReportResult)
+        assert result.experiments == ["table1"]
+        assert result.regressions == []
+        assert "## table1" in result.markdown
+        assert "| seq_error_rate | 0.1 | - | - | new |" in result.markdown
+        assert "### History" in result.markdown
+        assert "backend `modulo`" in result.markdown
+
+    def test_second_run_gets_delta_row_and_ok_status(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(_record())
+        ledger.append(_record(headline={"seq_error_rate": 0.10, "divergence": 0.05}))
+        result = render_report(ledger)
+        assert "| seq_error_rate | 0.1 | 0.1 | +0 | ok |" in result.markdown
+        assert result.regressions == []
+
+    def test_regression_flagged_past_tolerance(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(_record())
+        ledger.append(_record(headline={"seq_error_rate": 0.30, "divergence": 0.05}))
+        result = render_report(ledger)
+        assert len(result.regressions) == 1
+        assert "seq_error_rate" in result.regressions[0]
+        assert "REGRESSED" in result.markdown
+        assert "## Regressions" in result.markdown
+
+    def test_improvement_not_flagged(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(_record())
+        ledger.append(_record(headline={"seq_error_rate": 0.02, "divergence": 0.05}))
+        result = render_report(ledger)
+        assert result.regressions == []
+        assert "improved" in result.markdown
+
+    def test_backend_fault_matrix_cells(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(_record())
+        ledger.append(_record(backend="keyed", faults="moderate",
+                              headline={"seq_error_rate": 0.25}))
+        markdown = render_report(ledger).markdown
+        assert "### Backend x fault-profile matrix" in markdown
+        assert "| keyed" in markdown and "| modulo" in markdown
+        assert "moderate" in markdown
+
+    def test_experiment_filter_and_missing_experiment(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(_record())
+        result = render_report(ledger, experiment="fig6")
+        assert result.experiments == []
+        assert "_no ledger records_" in result.markdown
+
+    def test_history_respects_last(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        for i in range(6):
+            ledger.append(_record(seed=i))
+        markdown = render_report(ledger, last=2).markdown
+        history = markdown.split("### History")[1]
+        assert history.count("| run |") == 2
+
+    def test_partial_and_cached_flags_shown(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(_record(partial=True, cache_hit=True))
+        markdown = render_report(ledger).markdown
+        assert "**partial run**" in markdown
+        assert "served from cache" in markdown
+
+
+class TestRenderHtml:
+    def test_tables_and_headings_render(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(_record())
+        html = render_html(render_report(ledger).markdown)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<h2>table1</h2>" in html
+        assert "<table>" in html and "<th>metric</th>" in html
+        assert "<td>seq_error_rate</td>" in html
+
+    def test_inline_markup_escaped_and_rendered(self):
+        html = render_html("plain `code` and **bold** and <script>")
+        assert "<code>code</code>" in html
+        assert "<strong>bold</strong>" in html
+        assert "&lt;script&gt;" in html
+
+
+class TestReportMain:
+    def test_missing_ledger_exits_nonzero(self, tmp_path, capsys):
+        assert report_main(["--cache-dir", str(tmp_path / "empty")]) == 1
+        assert "no ledger" in capsys.readouterr().err
+
+    def test_unknown_experiment_exits_nonzero(self, tmp_path, capsys):
+        RunLedger(tmp_path).append(_record())
+        assert report_main(["fig6", "--cache-dir", str(tmp_path)]) == 1
+        assert "no ledger records for 'fig6'" in capsys.readouterr().err
+
+    def test_writes_out_file(self, tmp_path, capsys):
+        RunLedger(tmp_path).append(_record())
+        out = tmp_path / "report.md"
+        assert report_main(
+            ["table1", "--cache-dir", str(tmp_path), "--out", str(out)]
+        ) == 0
+        assert "## table1" in out.read_text()
+
+    def test_html_flag(self, tmp_path):
+        RunLedger(tmp_path).append(_record())
+        out = tmp_path / "report.html"
+        assert report_main(
+            ["--cache-dir", str(tmp_path), "--html", "--out", str(out)]
+        ) == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_gate_fails_on_regression(self, tmp_path, capsys):
+        ledger = RunLedger(tmp_path)
+        ledger.append(_record())
+        ledger.append(_record(headline={"seq_error_rate": 0.5}))
+        assert report_main(["--cache-dir", str(tmp_path), "--gate",
+                            "--out", str(tmp_path / "r.md")]) == 1
+        assert "[report] REGRESSION" in capsys.readouterr().err
+        # without --gate the same regression only warns
+        assert report_main(["--cache-dir", str(tmp_path),
+                            "--out", str(tmp_path / "r.md")]) == 0
+
+    def test_cli_dispatches_report_subcommand(self, tmp_path, capsys):
+        RunLedger(tmp_path).append(_record())
+        assert cli.main(["report", "table1", "--cache-dir", str(tmp_path)]) == 0
+        assert "## table1" in capsys.readouterr().out

@@ -370,6 +370,12 @@ class TestCliTelemetryFlags:
         snapshot = json.loads(metrics.read_text())
         assert snapshot["runner"][0]["experiment"] == "fig5"
         assert "phase_seconds" in snapshot["runner"][0]
+        # every histogram snapshot carries interpolated percentiles, and
+        # the CLI prints them as a summary table
+        for hist in snapshot["metrics"]["histograms"].values():
+            assert {"p50", "p95", "p99"} <= set(hist["percentiles"])
+        assert "p95" in out
+        assert "probe.latency_cycles" in out
 
     def test_trace_subcommand_defaults_output_path(
         self, tmp_path, monkeypatch, capsys, cache_dir
