@@ -14,6 +14,11 @@ Three checks, matching ROBUSTNESS.md's failure-semantics contract:
 3. **Partial completion.**  An in-process run with one deliberately
    crashed shard and ``max_failed_shards=1`` must complete with partial
    results and exactly one per-shard failure annotation.
+4. **Adaptive recovery under drift.**  ``python -m repro fig10`` under
+   the time-varying ``drift`` schedule with ``--adaptive`` must exit 0
+   with nonzero ``adaptive.recalibrations`` in its metrics snapshot (the
+   supervisor demonstrably recovered in flight); the same schedule
+   without ``--adaptive`` must complete degraded — exit 0, no traceback.
 
 Usage::
 
@@ -117,12 +122,39 @@ def check_partial_completion() -> None:
     print(f"ok: partial completion with annotation {metrics.failed_shards[0]}")
 
 
+def check_adaptive_drift_recovery() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        metrics_path = os.path.join(tmp, "metrics.json")
+        proc = run_cli(
+            ["fig10", "--faults", "drift", "--adaptive", "--no-cache",
+             "--metrics", metrics_path]
+        )
+        if proc.returncode != 0:
+            fail(f"adaptive drift fig10 exited {proc.returncode}:\n{proc.stderr}")
+        with open(metrics_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    counters = payload["metrics"]["counters"]
+    recals = counters.get("adaptive.recalibrations", 0)
+    if not recals:
+        adaptive = {k: v for k, v in counters.items() if k.startswith("adaptive.")}
+        fail(f"adaptive drift run performed no recalibration: {adaptive}")
+    # Same schedule, supervisor off: must complete degraded, not crash.
+    proc = run_cli(["fig10", "--faults", "drift", "--no-cache"])
+    if proc.returncode != 0:
+        fail(f"non-adaptive drift fig10 exited {proc.returncode}:\n{proc.stderr}")
+    if "[adaptive" in proc.stdout:
+        fail("non-adaptive run printed adaptive recovery annotations")
+    print(f"ok: drift run recovered ({recals} recalibration(s)); "
+          "non-adaptive run degraded cleanly")
+
+
 def main() -> int:
     os.chdir(os.path.join(os.path.dirname(__file__), ".."))
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
     check_faulty_run_with_metrics()
     check_jobs_independence()
     check_partial_completion()
+    check_adaptive_drift_recovery()
     print("chaos smoke passed")
     return 0
 

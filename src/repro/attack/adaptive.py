@@ -1,0 +1,313 @@
+"""Adaptive attack supervision: drift detection and in-flight recovery.
+
+The attack pipeline calibrates once and trusts that calibration forever —
+fine in a frozen simulation, wrong on the live machine the paper targets,
+where thresholds drift with frequency scaling, eviction sets rot under
+re-randomization, and the spy's sync is lost whenever the ring outruns it.
+This module closes the loop from the signal-quality estimators
+(:mod:`repro.telemetry.quality`) to in-flight recovery:
+
+* **Drift / SNR-floor detection** — a probe stream whose sets *all* fire on
+  (almost) every sweep is saturated: the hit distribution has drifted past
+  the stale threshold and every access classifies as a miss.  After
+  ``detect_patience`` consecutive saturated sweeps the supervisor
+  recalibrates online (bounded by ``max_recalibrations``, spaced by
+  ``cooldown_sweeps`` of hysteresis so one noise spike cannot thrash) and
+  pushes the new threshold into every tracked eviction set.
+* **Eviction-set health** — a probe stream that goes *dark* (zero activity
+  for ``idle_patience`` sweeps under live traffic) has lost its sets: under
+  ``keyed:epoch=N`` re-keying or ``defense.randomization`` the monitored
+  lines now map elsewhere and every traversal self-hits forever.  The
+  supervisor invokes its registered ``healer`` to rebuild the monitors
+  against the *current* mapping.
+* **Sync loss** — the chaser reports timeouts and the sequencer reports
+  empty recoveries; past patience these trigger the same heal path.
+
+Every decision is a pure function of deterministic simulation state (no
+RNG), so recovery decisions are bit-identical at any ``--jobs N`` and
+under checkpoint resume.  Consumers that receive no supervisor construct
+zero adaptive machinery — non-adaptive runs stay bit-identical to
+pre-adaptive builds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Any, Callable
+
+from repro.attack.timing import CalibrationResult, calibrate_threshold
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Detector and recovery tuning for one :class:`AdaptiveSupervisor`."""
+
+    #: A sweep with at least this fraction of monitored sets firing is
+    #: "saturated" (drifted threshold: everything classifies as a miss).
+    saturation_fraction: float = 0.95
+    #: Consecutive saturated sweeps before a recalibration is attempted.
+    #: Legitimate traffic fires a buffer's sets at the packet rate — once
+    #: every several sweeps — so a short streak already separates drift
+    #: from signal.
+    detect_patience: int = 4
+    #: Consecutive all-quiet sweeps before the monitors are declared dead
+    #: and healed.  Must comfortably exceed the inter-fill gap (a fill per
+    #: ~8 sweeps in the covert-channel runs) to never fire on a live set.
+    idle_patience: int = 32
+    #: Per-distribution sample count for an online recalibration pass.
+    #: Larger than the initial calibration's default: the pass runs under
+    #: the very noise that triggered it, so the midpoint estimate needs
+    #: the extra averaging to land inside the (narrowed) hit/miss gap.
+    recal_samples: int = 96
+    #: Minimum sweeps between recovery attempts (hysteresis / backoff).
+    cooldown_sweeps: int = 24
+    #: Hard budgets so a hopeless run terminates instead of thrashing.
+    max_recalibrations: int = 8
+    max_heals: int = 8
+    #: Consecutive chase timeouts before the chaser's monitors are healed.
+    chase_timeout_patience: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.saturation_fraction <= 1.0:
+            raise ValueError(
+                f"saturation_fraction must be in (0, 1], got {self.saturation_fraction}"
+            )
+        for name in (
+            "detect_patience",
+            "idle_patience",
+            "recal_samples",
+            "max_recalibrations",
+            "max_heals",
+            "chase_timeout_patience",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.cooldown_sweeps < 0:
+            raise ValueError("cooldown_sweeps must be >= 0")
+
+
+@dataclass
+class AdaptiveStats:
+    """Counts of every recovery decision (mirrored to ``adaptive.*``
+    telemetry counters; summed into ledger record context)."""
+
+    recalibrations: int = 0
+    recal_failures: int = 0
+    heals: int = 0
+    heal_failures: int = 0
+    saturation_detections: int = 0
+    idle_detections: int = 0
+    chase_resyncs: int = 0
+    sequence_sync_losses: int = 0
+
+    def total(self) -> int:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class RecoveryEvent:
+    """One recovery action, for result annotation and debugging."""
+
+    time: int
+    kind: str  # "recalibrate" | "recal_failed" | "heal" | "heal_failed" | ...
+    detail: str
+    #: Rebuilt monitors (heal only); the consumer swaps these in.
+    payload: Any = None
+
+    def summary(self) -> tuple[int, str, str]:
+        return (self.time, self.kind, self.detail)
+
+
+class AdaptiveSupervisor:
+    """Watches one probe stream and repairs it in flight.
+
+    One supervisor serves one consumer (a :class:`~repro.attack.primeprobe.
+    ProbeMonitor`, :class:`~repro.attack.covert.CovertReceiver` or
+    :class:`~repro.attack.chase.PacketChaser`): the consumer reports each
+    sweep via :meth:`observe` (or timeouts via :meth:`note_timeout`) and
+    applies the returned :class:`RecoveryEvent`, if any — swapping in a
+    healed monitor list and re-priming.
+
+    ``healer`` is a zero-argument callable rebuilding the consumer's
+    monitors against the live cache mapping (typically a closure over
+    :class:`~repro.attack.setup.MonitorFactory` and the monitored ring
+    buffers); it returns the new monitor payload.  ``factory`` (optional)
+    is kept in sync on recalibration so healed monitors are born with the
+    current threshold.
+    """
+
+    def __init__(
+        self,
+        process,
+        config: AdaptiveConfig | None = None,
+        healer: Callable[[], Any] | None = None,
+        factory=None,
+        label: str = "",
+    ) -> None:
+        self.process = process
+        self.config = config or AdaptiveConfig()
+        self.healer = healer
+        self.factory = factory
+        self.label = label
+        self.stats = AdaptiveStats()
+        self.events: list[RecoveryEvent] = []
+        #: Latest recalibration (None until the first one fires).
+        self.threshold: CalibrationResult | None = None
+        self._tracked: list = []
+        self._sweeps = 0
+        self._degraded_sweeps = 0
+        self._sat_streak = 0
+        self._idle_streak = 0
+        self._timeout_streak = 0
+        self._last_recovery = -(10**9)
+
+    # -- bookkeeping ---------------------------------------------------
+    def _count(self, stat: str, counter: str, n: int = 1) -> None:
+        setattr(self.stats, stat, getattr(self.stats, stat) + n)
+        tele = self.process.machine.telemetry
+        if tele is not None and tele.metrics.enabled:
+            tele.metrics.counter(f"adaptive.{counter}").inc(n)
+
+    def _event(self, kind: str, detail: str, payload: Any = None) -> RecoveryEvent:
+        event = RecoveryEvent(
+            time=self.process.machine.clock.now,
+            kind=kind,
+            detail=detail,
+            payload=payload,
+        )
+        self.events.append(event)
+        return event
+
+    def track(self, *eviction_sets) -> None:
+        """Register eviction sets whose thresholds recalibration updates."""
+        self._tracked.extend(eviction_sets)
+
+    def untrack_all(self) -> None:
+        self._tracked.clear()
+
+    @property
+    def confidence(self) -> float:
+        """Fraction of observed sweeps spent *outside* a degraded state."""
+        if self._sweeps == 0:
+            return 1.0
+        return 1.0 - self._degraded_sweeps / self._sweeps
+
+    def history(self) -> list[tuple[int, str, str]]:
+        """(time, kind, detail) per recovery, for result annotation."""
+        return [event.summary() for event in self.events]
+
+    def _cooldown_ok(self) -> bool:
+        return self._sweeps - self._last_recovery >= self.config.cooldown_sweeps
+
+    # -- detectors -----------------------------------------------------
+    def observe(self, fired: int, total: int) -> RecoveryEvent | None:
+        """Report one probe sweep: ``fired`` of ``total`` sets saw misses.
+
+        Returns the recovery taken this sweep (the consumer re-primes and,
+        for a heal, swaps in ``event.payload``), or ``None``.
+        """
+        cfg = self.config
+        self._sweeps += 1
+        if total <= 0:
+            return None
+        saturated = fired >= max(1, math.ceil(total * cfg.saturation_fraction))
+        quiet = fired == 0
+        if saturated:
+            self._sat_streak += 1
+            self._idle_streak = 0
+            self._degraded_sweeps += 1
+        elif quiet:
+            self._idle_streak += 1
+            self._sat_streak = 0
+            if self._idle_streak > cfg.idle_patience:
+                self._degraded_sweeps += 1
+        else:
+            self._sat_streak = 0
+            self._idle_streak = 0
+        if self._sat_streak == cfg.detect_patience:
+            self._count("saturation_detections", "saturation_detections")
+        if self._idle_streak == cfg.idle_patience:
+            self._count("idle_detections", "idle_detections")
+        if not self._cooldown_ok():
+            return None
+        if self._sat_streak >= cfg.detect_patience:
+            self._sat_streak = 0
+            if self.stats.recalibrations < cfg.max_recalibrations:
+                return self.recalibrate()
+            # Recalibration budget spent and still saturated: the sets
+            # themselves are suspect — escalate to a rebuild.
+            return self.heal("saturation persists after recalibration budget")
+        if self._idle_streak >= cfg.idle_patience:
+            self._idle_streak = 0
+            return self.heal("monitors dark past idle patience")
+        return None
+
+    def note_timeout(self) -> RecoveryEvent | None:
+        """The chaser's expected buffer timed out once."""
+        self._timeout_streak += 1
+        if (
+            self._timeout_streak >= self.config.chase_timeout_patience
+            and self._cooldown_ok()
+        ):
+            self._timeout_streak = 0
+            self._count("chase_resyncs", "chase_resyncs")
+            # Sweep count stands in for time here; timeouts are long.
+            self._sweeps += self.config.cooldown_sweeps
+            return self.heal("chase timeouts past patience")
+        return None
+
+    def note_hit(self) -> None:
+        """The chaser detected a fill: sync is live again."""
+        self._timeout_streak = 0
+
+    def note_sequence_sync_loss(self) -> None:
+        """The sequencer recovered an empty sequence from live traffic."""
+        self._count("sequence_sync_losses", "sequence_sync_losses")
+
+    # -- recoveries ----------------------------------------------------
+    def recalibrate(self) -> RecoveryEvent | None:
+        """Re-measure the hit/miss threshold and push it everywhere."""
+        self._last_recovery = self._sweeps
+        try:
+            result = calibrate_threshold(
+                self.process, samples=self.config.recal_samples
+            )
+        except RuntimeError as error:
+            self._count("recal_failures", "recal_failures")
+            return self._event("recal_failed", str(error))
+        self.threshold = result
+        for es in self._tracked:
+            es.threshold = result
+        factory = self.factory
+        if factory is not None:
+            factory.threshold = result
+            factory.builder.threshold = result
+            for es in factory._cache.values():
+                es.threshold = result
+        self._count("recalibrations", "recalibrations")
+        return self._event(
+            "recalibrate",
+            f"threshold {result.threshold:.1f} "
+            f"(separation {result.separation:.1f}cy, "
+            f"attempts {result.attempts})",
+        )
+
+    def heal(self, reason: str) -> RecoveryEvent | None:
+        """Rebuild the consumer's monitors against the live mapping."""
+        self._last_recovery = self._sweeps
+        if self.healer is None or self.stats.heals >= self.config.max_heals:
+            return None
+        try:
+            payload = self.healer()
+        except RuntimeError as error:
+            self._count("heal_failures", "heal_failures")
+            return self._event("heal_failed", f"{reason}: {error}")
+        if payload is None:
+            self._count("heal_failures", "heal_failures")
+            return self._event("heal_failed", f"{reason}: healer returned nothing")
+        self._count("heals", "heals")
+        return self._event("heal", reason, payload=payload)

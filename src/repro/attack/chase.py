@@ -95,12 +95,22 @@ class ChaseResult:
 class PacketChaser:
     """Follows the recovered buffer sequence, one buffer at a time."""
 
-    def __init__(self, process, buffers: list[BufferMonitor], start: int = 0) -> None:
+    def __init__(
+        self,
+        process,
+        buffers: list[BufferMonitor],
+        start: int = 0,
+        supervisor=None,
+    ) -> None:
         if not buffers:
             raise ValueError("no buffer monitors supplied")
         self.process = process
         self.buffers = list(buffers)
         self.position = start % len(buffers)
+        #: Optional :class:`~repro.attack.adaptive.AdaptiveSupervisor`:
+        #: consecutive timeouts past patience trigger a monitor heal
+        #: (the ring's buffers were remapped out from under the spy).
+        self.supervisor = supervisor
 
     def prime_all(self) -> None:
         for monitor in self.buffers:
@@ -151,6 +161,8 @@ class PacketChaser:
                 if out_of_sync:
                     resyncs += 1
                     out_of_sync = False
+                if self.supervisor is not None:
+                    self.supervisor.note_hit()
                 times.append(machine.clock.now)
                 if size_wait:
                     # Without DDIO the payload enters the cache only when
@@ -170,6 +182,16 @@ class PacketChaser:
                 misses += 1
                 if not out_of_sync:
                     out_of_sync = True
+                if self.supervisor is not None:
+                    event = self.supervisor.note_timeout()
+                    if event is not None and event.kind == "heal" and event.payload:
+                        # The ring's buffers were remapped out from under
+                        # us (re-keying / re-randomization): swap in the
+                        # rebuilt monitors and re-prime the lot.
+                        self.buffers = list(event.payload)
+                        self.position %= len(self.buffers)
+                        self.prime_all()
+                        continue
                 # Stay on this buffer: the next fill of it re-synchronises.
                 if misses > give_up:
                     break  # give up: traffic has evidently stopped

@@ -152,12 +152,22 @@ class CovertReceiver:
         process,
         streams: list[StreamMonitors],
         window: int = 3,
+        supervisor=None,
     ) -> None:
         if not streams:
             raise ValueError("no stream monitors")
         self.process = process
         self.streams = list(streams)
         self.window = window
+        #: Optional :class:`~repro.attack.adaptive.AdaptiveSupervisor`.
+        #: Saturated probe streams (drifted threshold) trigger online
+        #: recalibration; dark streams (remapped buffers) trigger a heal;
+        #: after either, the receiver re-locks: windows reset, monitors
+        #: re-primed, decoding resumes on the next clock edge.
+        self.supervisor = supervisor
+        if supervisor is not None:
+            for stream in self.streams:
+                supervisor.track(*stream.sets())
 
     def listen(
         self,
@@ -183,10 +193,12 @@ class CovertReceiver:
             if wait_cycles:
                 machine.idle(wait_cycles)
             now = machine.clock.now
+            fired = 0
             for k, stream in enumerate(self.streams):
                 clock_active = stream.clock.probe() > 0
                 b2 = stream.block2.probe() > 0
                 b3 = stream.block3.probe() > 0
+                fired += clock_active + b2 + b3
                 if countdown[k] > 0:
                     b2_seen[k] = b2_seen[k] or b2
                     b3_seen[k] = b3_seen[k] or b3
@@ -213,8 +225,28 @@ class CovertReceiver:
                                 symbol=symbol_from_blocks(b2, b3, alphabet),
                             )
                         )
+            if self.supervisor is not None:
+                event = self.supervisor.observe(fired, 3 * len(self.streams))
+                if event is not None:
+                    self._relock(event, countdown, b2_seen, b3_seen)
         decoded.sort(key=lambda d: d.time)
         return decoded
+
+    def _relock(self, event, countdown, b2_seen, b3_seen) -> None:
+        """Re-acquire the channel after a recovery: swap in healed
+        monitors (if any), abandon open decode windows, re-prime."""
+        if event.kind == "heal" and event.payload:
+            self.streams = list(event.payload)
+            self.supervisor.untrack_all()
+            for stream in self.streams:
+                self.supervisor.track(*stream.sets())
+        for k in range(len(countdown)):
+            countdown[k] = 0
+            b2_seen[k] = False
+            b3_seen[k] = False
+        for stream in self.streams:
+            for es in stream.sets():
+                es.prime()
 
 
 def run_covert_channel(

@@ -61,11 +61,19 @@ class SampleTrace:
 class ProbeMonitor:
     """Prime+probe driver over a fixed monitor list."""
 
-    def __init__(self, process, eviction_sets: list[EvictionSet]) -> None:
+    def __init__(
+        self, process, eviction_sets: list[EvictionSet], supervisor=None
+    ) -> None:
         if not eviction_sets:
             raise ValueError("monitor list is empty")
         self.process = process
         self.sets = list(eviction_sets)
+        #: Optional :class:`~repro.attack.adaptive.AdaptiveSupervisor`.
+        #: When absent (the default) no adaptive machinery runs and the
+        #: sample loop is bit-identical to pre-adaptive builds.
+        self.supervisor = supervisor
+        if supervisor is not None:
+            supervisor.track(*self.sets)
         #: Concatenated traversal arrays per orientation signature.  A
         #: zig-zag sweep alternates between two signatures, so this holds
         #: two entries in steady state; interleaved per-set probes just
@@ -114,6 +122,23 @@ class ProbeMonitor:
 
     def __len__(self) -> int:
         return len(self.sets)
+
+    def refresh_thresholds(self) -> None:
+        """Drop the cached per-access threshold arrays (after an online
+        recalibration changed ``es.threshold`` under us)."""
+        self._lens = None
+        self._offsets = None
+        self._thresholds = None
+
+    def _apply_recovery(self, event) -> None:
+        """Swap in healed sets / refreshed thresholds, then re-prime."""
+        if event.kind == "heal" and event.payload:
+            self.sets = list(event.payload)
+            self._sweep_cache.clear()
+            self.supervisor.untrack_all()
+            self.supervisor.track(*self.sets)
+        self.refresh_thresholds()
+        self.prime()
 
     def prime(self) -> None:
         """Initial fill of every monitored set."""
@@ -249,6 +274,13 @@ class ProbeMonitor:
                 samples.append(self._fast_sweep())
             else:
                 samples.append(self._probe_sweep())
+            if self.supervisor is not None:
+                row = samples[-1]
+                event = self.supervisor.observe(
+                    sum(1 for v in row if v > 0), len(row)
+                )
+                if event is not None:
+                    self._apply_recovery(event)
         if tele is not None and tele.metrics.enabled:
             tele.metrics.counter("probe.sweeps").inc(n_samples)
         if self._quality_acc is not None:

@@ -57,6 +57,7 @@ class Sequencer:
         groups: list[EvictionSet],
         config: SequencerConfig | None = None,
         replacement_provider: Callable[[int, EvictionSet], EvictionSet | None] | None = None,
+        supervisor=None,
     ) -> None:
         if len(groups) < 3:
             raise ValueError("sequencing needs at least 3 monitored sets")
@@ -68,6 +69,11 @@ class Sequencer:
         #: Called with (group_index, eviction_set) when a set is too noisy;
         #: returns the block-1 replacement set, or None to keep the set.
         self.replacement_provider = replacement_provider
+        #: Optional :class:`~repro.attack.adaptive.AdaptiveSupervisor`:
+        #: forwarded into each sampling :class:`ProbeMonitor` (in-flight
+        #: recalibration / healing) and consulted once more when recovery
+        #: yields an empty sequence (sync loss -> one full retry).
+        self.supervisor = supervisor
 
     # ------------------------------------------------------------------
     # Step 1: clean samples
@@ -76,8 +82,13 @@ class Sequencer:
         """Sample the monitor list, replacing always-miss sets."""
         cfg = self.config
         for _attempt in range(cfg.max_retries + 1):
-            monitor = ProbeMonitor(self.process, self.groups)
+            monitor = ProbeMonitor(
+                self.process, self.groups, supervisor=self.supervisor
+            )
             trace = monitor.sample(cfg.n_samples, cfg.wait_cycles)
+            if self.supervisor is not None:
+                # A mid-sample heal may have rebuilt the monitor list.
+                self.groups = list(monitor.sets)
             noisy = [
                 j
                 for j, fraction in enumerate(trace.activity_fraction())
@@ -165,6 +176,15 @@ class Sequencer:
         trace = self.get_clean_samples()
         graph = self.build_graph(trace)
         sequence = [] if not graph else self.make_sequence(graph)
+        if not sequence and self.supervisor is not None:
+            # Sync loss: the whole sampling window saw no usable
+            # transitions.  Note it and retry once — the supervisor's
+            # in-flight recoveries (threshold refresh, healed sets) make
+            # the second window a genuinely different measurement.
+            self.supervisor.note_sequence_sync_loss()
+            trace = self.get_clean_samples()
+            graph = self.build_graph(trace)
+            sequence = [] if not graph else self.make_sequence(graph)
         registry = quality_registry(self.process.machine.telemetry)
         if registry is not None:
             record_sequence_recovery(

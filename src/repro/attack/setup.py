@@ -96,16 +96,27 @@ class MonitorFactory:
             self._cache[key] = es
         return es
 
-    def buffer_monitor(
+    def buffer_at(self, ring_position: int):
+        """The rx buffer at ``ring_position`` from the *current* ring head.
+
+        Monitor healers capture the returned buffer object: the ring head
+        moves during a run, so rebuilding by position would silently
+        monitor a different buffer — the physical buffer is the identity
+        that survives re-keying and re-randomization.
+        """
+        ring = self.machine.ring
+        ordered = ring.buffers[ring.head:] + ring.buffers[: ring.head]
+        return ordered[ring_position % len(ordered)]
+
+    def monitor_for_buffer(
         self,
-        ring_position: int,
+        buffer,
+        name: str,
         blocks: tuple[int, ...] = (0, 1, 2, 3),
         include_alt: bool = True,
     ) -> BufferMonitor:
-        """Monitor for the buffer at ``ring_position`` (from current head)."""
+        """Monitor for one specific rx buffer (position-independent)."""
         ring = self.machine.ring
-        ordered = ring.buffers[ring.head:] + ring.buffers[: ring.head]
-        buffer = ordered[ring_position % len(ordered)]
         base = buffer.page_paddr + buffer.page_offset
         alt = buffer.page_paddr + (buffer.page_offset ^ ring.config.buffer_size)
         block_sets = {
@@ -116,18 +127,43 @@ class MonitorFactory:
             if include_alt
             else {}
         )
-        return BufferMonitor(
-            name=f"buf@{ring_position}", blocks=block_sets, alt_blocks=alt_sets
+        return BufferMonitor(name=name, blocks=block_sets, alt_blocks=alt_sets)
+
+    def buffer_monitor(
+        self,
+        ring_position: int,
+        blocks: tuple[int, ...] = (0, 1, 2, 3),
+        include_alt: bool = True,
+    ) -> BufferMonitor:
+        """Monitor for the buffer at ``ring_position`` (from current head)."""
+        return self.monitor_for_buffer(
+            self.buffer_at(ring_position),
+            name=f"buf@{ring_position}",
+            blocks=blocks,
+            include_alt=include_alt,
         )
 
-    def stream_monitors(self, ring_position: int) -> StreamMonitors:
-        """Covert-channel monitors (blocks 0, 2, 3) for one buffer."""
-        monitor = self.buffer_monitor(ring_position, blocks=(0, 2, 3), include_alt=False)
+    def stream_monitors_for_buffer(self, buffer) -> StreamMonitors:
+        """Covert-channel monitors (blocks 0, 2, 3) for one specific buffer.
+
+        Consulting the live mapping on every call, this is also the heal
+        path: after a ``keyed`` re-key moved the buffer's blocks to new
+        cache sets, calling it again yields monitors for the *new* sets
+        (under the modulo backend it returns the same cached sets and a
+        heal degrades to a harmless re-prime).
+        """
+        monitor = self.monitor_for_buffer(
+            buffer, name="stream", blocks=(0, 2, 3), include_alt=False
+        )
         return StreamMonitors(
             clock=monitor.blocks[0],
             block2=monitor.blocks[2],
             block3=monitor.blocks[3],
         )
+
+    def stream_monitors(self, ring_position: int) -> StreamMonitors:
+        """Covert-channel monitors (blocks 0, 2, 3) for one buffer."""
+        return self.stream_monitors_for_buffer(self.buffer_at(ring_position))
 
     def full_ring_chaser(
         self,
@@ -141,3 +177,19 @@ class MonitorFactory:
             for i in range(len(ring.buffers))
         ]
         return PacketChaser(self.spy, monitors)
+
+
+def adaptive_covert_supervisor(factory, positions, config=None):
+    """An :class:`~repro.attack.adaptive.AdaptiveSupervisor` for a covert
+    receiver over the buffers currently at ``positions``, whose healer
+    rebuilds those buffers' stream monitors against the live mapping."""
+    from repro.attack.adaptive import AdaptiveSupervisor
+
+    buffers = [factory.buffer_at(position) for position in positions]
+
+    def healer():
+        return [factory.stream_monitors_for_buffer(buffer) for buffer in buffers]
+
+    return AdaptiveSupervisor(
+        factory.spy, config=config, healer=healer, factory=factory
+    )

@@ -28,9 +28,25 @@ class LatencyThreshold:
         return latency > self.threshold
 
 
+@dataclass(frozen=True)
+class CalibrationResult(LatencyThreshold):
+    """A :class:`LatencyThreshold` plus how hard it was to obtain.
+
+    ``attempts`` is the number of calibration passes run (1 on a quiet
+    machine), ``samples_used`` the per-distribution sample count of the
+    successful pass, and ``separation`` the final miss-minus-hit mean gap
+    in cycles — the margin a drifting noise floor eats into.  Being a
+    subclass, it flows everywhere a plain threshold does.
+    """
+
+    attempts: int = 1
+    samples_used: int = 0
+    separation: float = 0.0
+
+
 def calibrate_threshold(
     process, samples: int = 64, max_attempts: int = 3
-) -> LatencyThreshold:
+) -> CalibrationResult:
     """Measure hit and miss latency distributions and pick a threshold.
 
     ``process`` is a :class:`repro.core.machine.Process`.  The calibration
@@ -69,10 +85,13 @@ def calibrate_threshold(
             registry = quality_registry(process.machine.telemetry)
             if registry is not None:
                 record_calibration(registry, hits, misses, threshold, attempt + 1)
-            return LatencyThreshold(
+            return CalibrationResult(
                 hit_mean=hit_mean,
                 miss_mean=miss_mean,
                 threshold=threshold,
+                attempts=attempt + 1,
+                samples_used=samples,
+                separation=miss_mean - hit_mean,
             )
         samples *= 2  # backoff: average the noise down before retrying
     raise RuntimeError(

@@ -51,7 +51,7 @@ from typing import Any, Callable
 
 from repro.cache.backends import backend_infos, parse_backend_spec
 from repro.core.config import MachineConfig
-from repro.faults import FAULT_PROFILES, get_profile
+from repro.faults import FAULT_PROFILES, FAULT_SCHEDULES, parse_fault_spec
 from repro.runner import (
     ConsoleProgress,
     ExperimentRunner,
@@ -236,6 +236,12 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         run=lambda cfg, runner: exp.run_noise_ablation(cfg, runner=runner),
         sharded=True,
     ),
+    "drift-resilience": ExperimentDef(
+        "adaptive recovery vs time-varying fault schedules",
+        params={},
+        run=lambda cfg, runner: exp.run_drift_resilience(cfg, runner=runner),
+        sharded=True,
+    ),
     "randomized-cache": ExperimentDef(
         "randomized-index backends vs the full attack pipeline",
         params={"n_samples": 600, "n_symbols": 24, "huge_pages": 8},
@@ -319,9 +325,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--faults",
         default="off",
-        metavar="PROFILE",
-        help="fault-injection profile (see 'repro faults list'; default 'off' "
-        "— outputs are then bit-identical to a build without fault hooks)",
+        metavar="PROFILE[@SCALE]",
+        help="fault-injection profile, optionally scaled: 'moderate', "
+        "'drift@1.5', ... (see 'repro faults list'; default 'off' — outputs "
+        "are then bit-identical to a build without fault hooks)",
+    )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="attach the adaptive attack supervisor (online threshold "
+        "recalibration + eviction-set self-healing) to experiments that "
+        "support it; see ROBUSTNESS.md 'Adaptive recovery'",
     )
     parser.add_argument(
         "--backend",
@@ -418,16 +432,27 @@ def print_backends() -> None:
 
 
 def print_fault_profiles() -> None:
-    """The ``repro faults list`` table: every registered profile's knobs."""
+    """The ``repro faults list`` tables: profiles, then time schedules."""
     width = max(len(name) for name in FAULT_PROFILES)
-    print(f"  {'profile':{width}s}  drop   dup    reord  jitter ovflw  stall  corun(Hz) probe-jit")
+    print(f"  {'profile':{width}s}  drop   dup    reord  jitter ovflw  stall  corun(Hz) probe-jit schedule")
     for name, profile in FAULT_PROFILES.items():
         print(
             f"  {name:{width}s}  {profile.drop_prob:<6.3f} {profile.dup_prob:<6.3f} "
             f"{profile.reorder_prob:<6.3f} {profile.gap_jitter:<6.2f} "
             f"{profile.nic_overflow_prob:<6.3f} {profile.refill_stall_prob:<6.3f} "
-            f"{profile.corunner_rate_hz:<9.0f} {profile.probe_jitter_cycles}"
+            f"{profile.corunner_rate_hz:<9.0f} {profile.probe_jitter_cycles:<9d} "
+            f"{profile.schedule or '-'}"
         )
+    print()
+    swidth = max(len("schedule"), max(len(name) for name in FAULT_SCHEDULES))
+    print(f"  {'schedule':{swidth}s}  {'mode':5s}  {'max':>4s}  description")
+    for name, sched in FAULT_SCHEDULES.items():
+        print(
+            f"  {name:{swidth}s}  {sched.mode:5s}  {sched.max_scale():4.1f}"
+            f"  {sched.summary}"
+        )
+    print()
+    print("  any profile accepts an intensity multiplier: --faults PROFILE@SCALE")
 
 
 def run_one(
@@ -647,9 +672,12 @@ def main(argv: list[str] | None = None) -> int:
         config = replace(config, seed=args.seed)
     if args.faults != "off":
         try:
-            config = replace(config, faults=get_profile(args.faults))
+            config = replace(config, faults=parse_fault_spec(args.faults))
         except ValueError as error:
-            raise SystemExit(str(error)) from None
+            print(str(error), file=sys.stderr)
+            return EXIT_USAGE
+    if args.adaptive:
+        config = replace(config, adaptive=True)
     if args.backend is not None:
         try:
             parse_backend_spec(args.backend)

@@ -221,6 +221,10 @@ class FaultConfig:
     corunner_accesses: int = 8
     #: Maximum extra cycles of measurement jitter per timed access.
     probe_jitter_cycles: int = 0
+    #: Name of a time-varying :class:`~repro.faults.schedule.FaultSchedule`
+    #: scaling every intensity as a function of simulated time ("" = the
+    #: static behaviour; validated by the faults layer at plan build).
+    schedule: str = ""
 
     def __post_init__(self) -> None:
         for name in ("drop_prob", "dup_prob", "reorder_prob",
@@ -274,6 +278,7 @@ class FaultConfig:
             corunner_rate_hz=self.corunner_rate_hz * factor,
             corunner_accesses=self.corunner_accesses,
             probe_jitter_cycles=int(round(self.probe_jitter_cycles * factor)),
+            schedule=self.schedule,
         )
 
 
@@ -328,6 +333,11 @@ class MachineConfig:
     #: shaped), "skewed[:partitions=P]" (ScatterCache-shaped).  Part of
     #: the config hash, so per-backend results cache independently.
     cache_backend: str = "modulo"
+    #: Attach the adaptive attack supervisor (see :mod:`repro.attack.
+    #: adaptive`) to experiments that support it.  Off by default: a
+    #: non-adaptive run constructs zero adaptive machinery and executes
+    #: the exact pre-adaptive instruction stream.
+    adaptive: bool = False
 
     def to_dict(self) -> dict:
         """Plain nested-dict form of the full configuration.
@@ -396,6 +406,7 @@ class MachineConfig:
             numa_nodes=self.numa_nodes,
             seed=self.seed,
             cache_backend=self.cache_backend,
+            adaptive=self.adaptive,
         )
 
     def bench_scale(self) -> "MachineConfig":
@@ -415,4 +426,5 @@ class MachineConfig:
             numa_nodes=self.numa_nodes,
             seed=self.seed,
             cache_backend=self.cache_backend,
+            adaptive=self.adaptive,
         )

@@ -166,7 +166,7 @@ class Machine:
             from repro.faults import FaultPlan, NoisyCoRunner
 
             self.faults = FaultPlan.from_config(
-                cfg.faults, cfg.seed, telemetry=self.telemetry
+                cfg.faults, cfg.seed, telemetry=self.telemetry, clock=self.clock
             )
             if self.faults.corunner_active:
                 NoisyCoRunner(self, self.faults).start()

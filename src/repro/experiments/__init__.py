@@ -29,6 +29,7 @@ from repro.experiments.ablation import (
     run_ring_size_ablation,
 )
 from repro.experiments.noise_ablation import run_noise_ablation
+from repro.experiments.drift_resilience import run_drift_resilience
 from repro.experiments.randomized_cache import run_randomized_cache
 
 __all__ = [
@@ -51,5 +52,6 @@ __all__ = [
     "run_ddio_ways_ablation",
     "run_probe_rate_ablation",
     "run_noise_ablation",
+    "run_drift_resilience",
     "run_randomized_cache",
 ]

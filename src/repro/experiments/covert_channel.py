@@ -16,6 +16,7 @@ scheduling, windowed decoding, ring arithmetic — runs fully measured.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 
 from repro.analysis.capacity import ChannelReport
 from repro.analysis.lfsr import lfsr_symbols
@@ -25,7 +26,12 @@ from repro.attack.covert import (
     run_chasing_channel,
     run_covert_channel,
 )
-from repro.attack.setup import MonitorFactory, spaced_positions, unique_buffer_positions
+from repro.attack.setup import (
+    MonitorFactory,
+    adaptive_covert_supervisor,
+    spaced_positions,
+    unique_buffer_positions,
+)
 from repro.attack.timing import calibrate_threshold
 from repro.core.config import MachineConfig
 from repro.core.machine import Machine
@@ -47,6 +53,10 @@ class Fig10Result:
 
     sent: list[int]
     received: list[int]
+    #: Adaptive-supervisor accounting (empty unless ``config.adaptive``).
+    recoveries: list[tuple[int, str, str]] = dataclass_field(default_factory=list)
+    confidence: float = 1.0
+    adaptive_totals: dict[str, int] = dataclass_field(default_factory=dict)
 
     def headline_metrics(self) -> dict[str, float]:
         n = min(len(self.sent), len(self.received))
@@ -58,12 +68,21 @@ class Fig10Result:
             "symbols_received": float(len(self.received)),
         }
 
+    def context_metrics(self) -> dict[str, float]:
+        out = {f"adaptive.{k}": float(v) for k, v in self.adaptive_totals.items()}
+        if self.adaptive_totals:
+            out["adaptive.confidence"] = self.confidence
+        return out
+
     def format_rows(self) -> list[str]:
-        return [
+        rows = [
             "Fig.10: ternary decode of repeating '201' pattern",
             f"  sent:     {''.join(map(str, self.sent))}",
             f"  received: {''.join(map(str, self.received))}",
         ]
+        for time, kind, detail in self.recoveries:
+            rows.append(f"  [adaptive @{time}] {kind}: {detail}")
+        return rows
 
 
 def run_fig10(
@@ -77,14 +96,24 @@ def run_fig10(
     machine, spy, factory = _covert_rig(config, huge_pages)
     ring_size = len(machine.ring.buffers)
     position = unique_buffer_positions(machine)[0]
-    receiver = CovertReceiver(spy, [factory.stream_monitors(position)])
+    supervisor = None
+    if machine.config.adaptive:
+        supervisor = adaptive_covert_supervisor(factory, [position])
+    receiver = CovertReceiver(
+        spy, [factory.stream_monitors(position)], supervisor=supervisor
+    )
     trojan = CovertTrojan(alphabet=3, ring_size=ring_size, rate_pps=packet_rate)
     sent = [(2, 0, 1)[i % 3] for i in range(n_symbols)]
     stream = trojan.build_stream(sent)
     stream.attach(machine, machine.nic)
     decoded = receiver.listen(len(sent), wait_cycles, alphabet=3)
     stream.stop()
-    return Fig10Result(sent=sent, received=[d.symbol for d in decoded])
+    result = Fig10Result(sent=sent, received=[d.symbol for d in decoded])
+    if supervisor is not None:
+        result.recoveries = supervisor.history()
+        result.confidence = supervisor.confidence
+        result.adaptive_totals = supervisor.stats.to_dict()
+    return result
 
 
 @dataclass

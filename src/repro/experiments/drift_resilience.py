@@ -1,0 +1,238 @@
+"""Drift resilience: adaptive recovery vs time-varying fault schedules.
+
+The static fault profiles hold every noise knob constant, so a spy that
+calibrates once at startup stays calibrated forever.  Real co-located
+noise is not so polite: thermal throttling ramps timer jitter, a tenant
+wakes up mid-run, defenses re-key the cache index under the attacker.
+This experiment drives the single-buffer ternary covert channel through
+the ``drift`` profile under each time-varying :class:`FaultSchedule`
+(ramp / step / periodic burst), on both the modulo baseline and a
+re-keying ``keyed`` backend, with the adaptive supervisor off and on —
+the robustness analogue of an A/B test for :mod:`repro.attack.adaptive`.
+
+Expected shape (EXPERIMENTS.md records measured numbers): without
+adaptation the spy's startup threshold goes stale as the schedule ramps
+(every probe fires, symbols decode as saturated garbage) and a keyed
+re-key leaves its monitors dark for the rest of the run; with adaptation
+the supervisor recalibrates out of saturation and heals dark monitors,
+holding error near the static-noise floor.  The ``burst`` schedule is
+the control cell: calibration lands inside the first burst, so even the
+static spy starts with a burst-proof threshold and the two arms tie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.config import MachineConfig
+from repro.faults import get_profile
+from repro.runner import ExperimentRunner, Shard, TrialSpec, default_runner
+
+#: Grid axes, in the deterministic order shards are numbered.
+SCHEDULES = ("drift", "step", "burst")
+MODES = (False, True)  # adaptive supervisor off, then on
+
+
+@dataclass
+class DriftCell:
+    """One (schedule, backend, adaptive) cell of the grid."""
+
+    schedule: str
+    backend: str
+    adaptive: bool
+    error_rate: float = 1.0
+    bandwidth_bps: float = 0.0
+    symbols_decoded: int = 0
+    faults_injected: int = 0
+    rekeys: int = 0
+    #: ``AdaptiveStats.to_dict()`` of the run's supervisor (empty when
+    #: the adaptive arm is off — no supervisor is ever constructed).
+    adaptive_totals: dict[str, int] = field(default_factory=dict)
+    recoveries: list[tuple[int, str, str]] = field(default_factory=list)
+
+
+@dataclass
+class DriftResilienceResult:
+    """Full grid: schedules x backends x {static, adaptive}."""
+
+    cells: list[DriftCell] = field(default_factory=list)
+
+    def cell(self, schedule: str, backend: str, adaptive: bool) -> DriftCell:
+        for c in self.cells:
+            if (
+                c.schedule == schedule
+                and c.backend == backend
+                and c.adaptive == adaptive
+            ):
+                return c
+        raise KeyError((schedule, backend, adaptive))
+
+    def _arm_errors(self, schedule: str, adaptive: bool) -> list[float]:
+        return [
+            c.error_rate
+            for c in self.cells
+            if c.schedule == schedule and c.adaptive == adaptive
+        ]
+
+    def headline_metrics(self) -> dict[str, float]:
+        headline: dict[str, float] = {}
+        regressions = 0
+        for schedule in SCHEDULES:
+            static = self._arm_errors(schedule, adaptive=False)
+            adaptive = self._arm_errors(schedule, adaptive=True)
+            if not static or not adaptive:
+                continue
+            headline[f"{schedule}_static_error"] = sum(static) / len(static)
+            headline[f"{schedule}_adaptive_error"] = sum(adaptive) / len(adaptive)
+        for c in self.cells:
+            if not c.adaptive:
+                continue
+            try:
+                baseline = self.cell(c.schedule, c.backend, adaptive=False)
+            except KeyError:
+                continue
+            if c.error_rate > baseline.error_rate:
+                regressions += 1
+        headline["adaptive_cell_regressions"] = float(regressions)
+        return headline
+
+    def context_metrics(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for c in self.cells:
+            for key, value in c.adaptive_totals.items():
+                name = f"adaptive.{key}"
+                totals[name] = totals.get(name, 0.0) + float(value)
+        totals["faults.injected"] = float(sum(c.faults_injected for c in self.cells))
+        totals["cache.rekeys"] = float(sum(c.rekeys for c in self.cells))
+        return totals
+
+    def format_rows(self) -> list[str]:
+        rows = ["Drift resilience: adaptive recovery vs time-varying fault schedules"]
+        rows.append(
+            "  schedule   backend              arm        error   decoded"
+            "   rekeys   recoveries"
+        )
+        for c in self.cells:
+            arm = "adaptive" if c.adaptive else "static"
+            recov = sum(c.adaptive_totals.values()) if c.adaptive_totals else 0
+            rows.append(
+                f"  {c.schedule:9s}  {c.backend:19s}  {arm:8s}"
+                f"  {c.error_rate:6.1%}   {c.symbols_decoded:7d}"
+                f"   {c.rekeys:6d}   {recov:10d}"
+            )
+        for c in self.cells:
+            for when, kind, detail in c.recoveries:
+                rows.append(
+                    f"  [{c.schedule}/{c.backend} @{when}] {kind}: {detail}"
+                )
+        rows.append(
+            "  (recoveries = summed adaptive.* counters; the static arm"
+            " never constructs a supervisor)"
+        )
+        return rows
+
+
+def _drift_shard(config: MachineConfig, params: dict, shard: Shard) -> list:
+    """One grid cell per shard index, in ``params['grid']`` order."""
+    from repro.analysis.lfsr import lfsr_symbols
+    from repro.attack.covert import CovertReceiver, CovertTrojan, run_covert_channel
+    from repro.attack.setup import (
+        MonitorFactory,
+        adaptive_covert_supervisor,
+        unique_buffer_positions,
+    )
+    from repro.attack.timing import calibrate_threshold
+    from repro.core.machine import Machine
+
+    out = []
+    for index in range(shard.start, shard.stop):
+        schedule, backend, adaptive = params["grid"][index]
+        faults = replace(get_profile(params["profile"]), schedule=schedule)
+        cfg = replace(
+            config, faults=faults, cache_backend=backend, adaptive=adaptive
+        )
+        machine = Machine(cfg)
+        machine.install_nic()
+        spy = machine.new_process("spy")
+        factory = MonitorFactory(
+            machine, spy, calibrate_threshold(spy), huge_pages=params["huge_pages"]
+        )
+        position = unique_buffer_positions(machine)[0]
+        supervisor = (
+            adaptive_covert_supervisor(factory, [position]) if adaptive else None
+        )
+        receiver = CovertReceiver(
+            spy, [factory.stream_monitors(position)], supervisor=supervisor
+        )
+        trojan = CovertTrojan(
+            alphabet=3,
+            ring_size=len(machine.ring.buffers),
+            rate_pps=params["rate_pps"],
+        )
+        symbols = lfsr_symbols(params["n_symbols"], 3)
+        report = run_covert_channel(
+            machine, receiver, trojan, symbols, params["wait_cycles"]
+        )
+        cell = DriftCell(
+            schedule=schedule,
+            backend=backend,
+            adaptive=adaptive,
+            error_rate=report.error_rate,
+            bandwidth_bps=report.bandwidth_bps,
+            symbols_decoded=report.symbols_received,
+            faults_injected=(
+                0 if machine.faults is None else machine.faults.stats.total()
+            ),
+            rekeys=machine.llc.mapping_epoch,
+        )
+        if supervisor is not None:
+            cell.adaptive_totals = supervisor.stats.to_dict()
+            cell.recoveries = supervisor.history()
+        out.append(cell)
+    return out
+
+
+def run_drift_resilience(
+    config: MachineConfig | None = None,
+    profile: str = "drift",
+    backends: tuple[str, ...] = ("modulo", "keyed:epoch=6000"),
+    n_symbols: int = 24,
+    rate_pps: float = 400_000.0,
+    wait_cycles: int = 30_000,
+    huge_pages: int = 4,
+    runner: ExperimentRunner | None = None,
+) -> DriftResilienceResult:
+    """A/B the adaptive supervisor across every time-varying schedule.
+
+    Each grid cell is an independent shard (one machine, one covert run),
+    so results are bit-identical at any ``--jobs N`` and the adaptive arm
+    shares nothing with its static baseline.
+    """
+    base = config or MachineConfig().scaled_down()
+    runner = runner or default_runner()
+    grid = [
+        (schedule, backend, adaptive)
+        for schedule in SCHEDULES
+        for backend in backends
+        for adaptive in MODES
+    ]
+    spec = TrialSpec(
+        experiment="drift-resilience",
+        n_trials=len(grid),
+        trials_per_shard=1,
+        params={
+            "grid": grid,
+            "profile": profile,
+            "n_symbols": n_symbols,
+            "rate_pps": rate_pps,
+            "wait_cycles": wait_cycles,
+            "huge_pages": huge_pages,
+        },
+    )
+
+    def reduce(shard_results: list) -> DriftResilienceResult:
+        return DriftResilienceResult(
+            cells=[cell for sub in shard_results for cell in sub]
+        )
+
+    return runner.run(spec, base, _drift_shard, reduce)

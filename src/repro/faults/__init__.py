@@ -19,14 +19,19 @@ pre-faults instruction stream.
 
 from repro.faults.injectors import NoisyCoRunner, faulty_frames
 from repro.faults.plan import FaultPlan, FaultStats, derive_fault_seed
-from repro.faults.profiles import FAULT_PROFILES, get_profile
+from repro.faults.profiles import FAULT_PROFILES, get_profile, parse_fault_spec
+from repro.faults.schedule import FAULT_SCHEDULES, FaultSchedule, get_schedule
 
 __all__ = [
     "FAULT_PROFILES",
+    "FAULT_SCHEDULES",
     "FaultPlan",
+    "FaultSchedule",
     "FaultStats",
     "NoisyCoRunner",
     "derive_fault_seed",
     "faulty_frames",
     "get_profile",
+    "get_schedule",
+    "parse_fault_spec",
 ]

@@ -102,8 +102,16 @@ class NoisyCoRunner:
         machine = self.machine
         llc = machine.llc
         now = machine.clock.now
-        for _ in range(self.burst):
+        # A time-varying schedule scales the burst size (a 0x phase skips
+        # the wakeup entirely — and draws nothing, keeping the cache-domain
+        # stream a pure function of the phases actually active).
+        burst = self.burst
+        scale = self.plan.schedule_scale()
+        if scale != 1.0:
+            burst = int(round(burst * scale))
+        for _ in range(burst):
             offset = self.rng.randrange(self._n_lines) * self._line
             llc.cpu_access(self.space.translate(self.base + offset), now=now)
-        self.plan.note_corunner_accesses(self.burst)
+        if burst:
+            self.plan.note_corunner_accesses(burst)
         machine.events.schedule(now + self.interval, self._tick, label="fault-corunner")

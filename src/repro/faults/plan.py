@@ -69,7 +69,9 @@ class FaultPlan:
     zero fault machinery.
     """
 
-    def __init__(self, config: FaultConfig, root_seed: int, telemetry=None) -> None:
+    def __init__(
+        self, config: FaultConfig, root_seed: int, telemetry=None, clock=None
+    ) -> None:
         if not config.active:
             raise ValueError("FaultPlan requires an active FaultConfig")
         self.config = config
@@ -80,15 +82,43 @@ class FaultPlan:
             domain: random.Random(derive_fault_seed(root_seed, domain))
             for domain in _DOMAINS
         }
+        #: Optional time-varying intensity curve.  When unset every knob is
+        #: static and the draw stream is bit-identical to pre-schedule
+        #: builds; when set, intensities are scaled by ``scale(sim time)``
+        #: read off the machine clock (pure data, still fully seeded).
+        if config.schedule:
+            from repro.faults.schedule import get_schedule
+
+            self._schedule = get_schedule(config.schedule)
+            if clock is None:
+                raise ValueError(
+                    f"fault schedule {config.schedule!r} needs a machine clock"
+                )
+        else:
+            self._schedule = None
+        self._clock = clock
 
     @classmethod
     def from_config(
-        cls, config: FaultConfig, root_seed: int, telemetry=None
+        cls, config: FaultConfig, root_seed: int, telemetry=None, clock=None
     ) -> "FaultPlan | None":
         """A plan for an active config, or ``None`` for the off profile."""
         if not config.active:
             return None
-        return cls(config, root_seed, telemetry=telemetry)
+        return cls(config, root_seed, telemetry=telemetry, clock=clock)
+
+    # -- time-varying intensity ----------------------------------------
+    def schedule_scale(self) -> float:
+        """Current schedule scale factor (1.0 without a schedule)."""
+        if self._schedule is None:
+            return 1.0
+        return self._schedule.scale_at(self._clock.seconds())
+
+    def _effective(self, prob: float) -> float:
+        """A probability knob after schedule scaling (clamped to 1)."""
+        if self._schedule is None:
+            return prob
+        return min(1.0, prob * self._schedule.scale_at(self._clock.seconds()))
 
     # -- counting ------------------------------------------------------
     def _count(self, stat: str, counter: str, n: int = 1) -> None:
@@ -106,22 +136,22 @@ class FaultPlan:
         )
 
     def should_drop_frame(self) -> bool:
-        if self.config.drop_prob and self._rng["net"].random() < self.config.drop_prob:
+        prob = self.config.drop_prob
+        if prob and self._rng["net"].random() < self._effective(prob):
             self._count("frames_dropped", "faults.net.dropped")
             return True
         return False
 
     def should_duplicate_frame(self) -> bool:
-        if self.config.dup_prob and self._rng["net"].random() < self.config.dup_prob:
+        prob = self.config.dup_prob
+        if prob and self._rng["net"].random() < self._effective(prob):
             self._count("frames_duplicated", "faults.net.duplicated")
             return True
         return False
 
     def should_reorder_frame(self) -> bool:
-        if (
-            self.config.reorder_prob
-            and self._rng["net"].random() < self.config.reorder_prob
-        ):
+        prob = self.config.reorder_prob
+        if prob and self._rng["net"].random() < self._effective(prob):
             self._count("frames_reordered", "faults.net.reordered")
             return True
         return False
@@ -131,15 +161,18 @@ class FaultPlan:
         jitter = self.config.gap_jitter
         if not jitter:
             return gap_seconds
+        if self._schedule is not None:
+            jitter = min(1.0, jitter * self.schedule_scale())
         factor = self._rng["net"].uniform(1.0 - jitter, 1.0 + jitter)
-        self._count("gaps_jittered", "faults.net.gaps_jittered")
+        if jitter:
+            self._count("gaps_jittered", "faults.net.gaps_jittered")
         return max(0.0, gap_seconds * factor)
 
     # -- nic domain ----------------------------------------------------
     def should_overflow(self) -> bool:
         """Rx-ring overflow: the arriving frame is dropped at the adapter."""
         prob = self.config.nic_overflow_prob
-        if prob and self._rng["nic"].random() < prob:
+        if prob and self._rng["nic"].random() < self._effective(prob):
             self._count("nic_overflow_drops", "faults.nic.overflow_drops")
             return True
         return False
@@ -147,7 +180,7 @@ class FaultPlan:
     def refill_stall(self) -> int:
         """Cycles of descriptor-refill stall for this frame (0 = none)."""
         prob = self.config.refill_stall_prob
-        if prob and self._rng["nic"].random() < prob:
+        if prob and self._rng["nic"].random() < self._effective(prob):
             self._count("refill_stalls", "faults.nic.refill_stalls")
             return self.config.refill_stall_cycles
         return 0
@@ -170,6 +203,10 @@ class FaultPlan:
         cap = self.config.probe_jitter_cycles
         if not cap:
             return 0
+        if self._schedule is not None:
+            cap = int(round(cap * self.schedule_scale()))
+            if cap <= 0:
+                return 0
         extra = self._rng["timing"].randint(0, cap)
         if extra:
             self._count("probes_jittered", "faults.timing.jittered_probes")

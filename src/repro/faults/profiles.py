@@ -54,6 +54,27 @@ FAULT_PROFILES: dict[str, FaultConfig] = {
         corunner_accesses=16,
         probe_jitter_cycles=40,
     ),
+    # Time-varying: starts as a quiet host, then the "drift" schedule ramps
+    # every intensity to 2.5x over ~1 ms of sim time.  The probe-jitter
+    # base of 60 cycles is chosen against the timing model's hit/miss gap
+    # (hit 40 + overhead 30 vs miss 200 + 30): at peak the 150-cycle cap
+    # straddles a stale midpoint threshold (saturating the probe stream)
+    # while staying below the 160-cycle bound past which hit and miss
+    # windows overlap irrecoverably — i.e. recalibration *can* win.
+    "drift": FaultConfig(
+        profile="drift",
+        drop_prob=0.01,
+        dup_prob=0.002,
+        reorder_prob=0.005,
+        gap_jitter=0.10,
+        nic_overflow_prob=0.005,
+        refill_stall_prob=0.002,
+        refill_stall_cycles=20_000,
+        corunner_rate_hz=2_000.0,
+        corunner_accesses=4,
+        probe_jitter_cycles=60,
+        schedule="drift",
+    ),
 }
 
 
@@ -64,3 +85,26 @@ def get_profile(name: str) -> FaultConfig:
     except KeyError:
         known = ", ".join(sorted(FAULT_PROFILES))
         raise ValueError(f"unknown fault profile {name!r}; known: {known}") from None
+
+
+def parse_fault_spec(spec: str) -> FaultConfig:
+    """Resolve a ``--faults`` spec: ``<profile>`` or ``<profile>@<scale>``.
+
+    ``moderate@0.5`` is :meth:`FaultConfig.scaled` applied to the named
+    preset; the scale must be a finite non-negative float.  Raises
+    ``ValueError`` with a usage hint on any malformed spec.
+    """
+    name, sep, scale_text = spec.partition("@")
+    base = get_profile(name)
+    if not sep:
+        return base
+    try:
+        scale = float(scale_text)
+    except ValueError:
+        raise ValueError(
+            f"malformed fault scale {scale_text!r} in {spec!r} "
+            "(expected <profile>@<float>, e.g. moderate@0.5)"
+        ) from None
+    if not 0 <= scale < float("inf"):
+        raise ValueError(f"fault scale must be finite and >= 0, got {scale_text!r}")
+    return base.scaled(scale)

@@ -1,0 +1,125 @@
+"""Time-varying fault schedules — conditions that change *during* a run.
+
+A :class:`FaultSchedule` maps simulated time to a scale factor applied on
+top of a :class:`~repro.core.config.FaultConfig`'s static intensities:
+probabilities become ``min(1, p * scale)``, the probe-jitter cap becomes
+``round(cap * scale)``, and the co-runner burst scales likewise.  The
+schedule is pure data — a piecewise function of sim time — so the fault
+stream stays a deterministic function of ``(seed, profile, schedule)``
+and is bit-identical at any ``--jobs``.
+
+Three shapes cover the interesting regimes:
+
+* ``ramp`` — linear interpolation between ``(t_ms, scale)`` points
+  (thermal / frequency-scaling style drift that creeps up on a
+  calibrated threshold).
+* ``step`` — scale jumps at each point and holds (a co-scheduled job
+  landing on the machine).
+* periodic (``period_ms > 0``) — the point list repeats, modelling
+  recurring interference bursts.
+
+Scales beyond the first/last point hold their boundary value, so a
+schedule shorter than the run degrades to a constant tail, never an
+extrapolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A deterministic scale(t) curve over simulated time.
+
+    Parameters
+    ----------
+    name:
+        Registry key (``FaultConfig.schedule`` stores this).
+    summary:
+        One-line description for ``repro faults list``.
+    points:
+        ``((t_ms, scale), ...)`` sorted by time, at least one entry.
+    mode:
+        ``"ramp"`` (linear interpolation) or ``"step"`` (hold-previous).
+    period_ms:
+        If positive, time wraps modulo this period before lookup.
+    """
+
+    name: str
+    summary: str
+    points: tuple[tuple[float, float], ...]
+    mode: str = "ramp"
+    period_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("schedule needs at least one (t_ms, scale) point")
+        if self.mode not in ("ramp", "step"):
+            raise ValueError(f"unknown schedule mode {self.mode!r}")
+        times = [t for t, _s in self.points]
+        if times != sorted(times):
+            raise ValueError("schedule points must be sorted by time")
+        if any(s < 0 for _t, s in self.points):
+            raise ValueError("schedule scales must be non-negative")
+        if self.period_ms < 0:
+            raise ValueError(f"negative period: {self.period_ms}")
+
+    def scale_at(self, t_seconds: float) -> float:
+        """The intensity scale factor at simulated time ``t_seconds``."""
+        t = t_seconds * 1e3
+        if self.period_ms > 0:
+            t = t % self.period_ms
+        points = self.points
+        if t <= points[0][0]:
+            return points[0][1]
+        if t >= points[-1][0]:
+            return points[-1][1]
+        for i in range(len(points) - 1):
+            t0, s0 = points[i]
+            t1, s1 = points[i + 1]
+            if t0 <= t <= t1:
+                if self.mode == "step" or t1 == t0:
+                    return s0
+                return s0 + (s1 - s0) * (t - t0) / (t1 - t0)
+        return points[-1][1]  # pragma: no cover - unreachable by construction
+
+    def max_scale(self) -> float:
+        """Upper bound of the curve (for `faults list` and sanity checks)."""
+        return max(s for _t, s in self.points)
+
+
+#: Built-in schedules.  Time constants are tuned to the scaled-down
+#: machine's covert-channel runs (a fig10-style decode spans ~2 ms of sim
+#: time; one receiver sample is ~10 µs), so every shape both *bites*
+#: mid-run and leaves room for recovery before the run ends.
+FAULT_SCHEDULES: dict[str, FaultSchedule] = {
+    "drift": FaultSchedule(
+        name="drift",
+        summary="ramp 1x -> 2.5x over ~0.5 ms, then hold (thermal drift)",
+        points=((0.1, 1.0), (0.6, 2.5)),
+        mode="ramp",
+    ),
+    "step": FaultSchedule(
+        name="step",
+        summary="quiet until ~0.7 ms, then 2.5x (co-scheduled job lands)",
+        points=((0.7, 0.0), (0.7001, 2.5)),
+        mode="step",
+    ),
+    "burst": FaultSchedule(
+        name="burst",
+        summary="periodic 2.5x bursts: 0.35 ms on / 0.85 ms off",
+        points=((0.35, 2.5), (0.3501, 0.0)),
+        mode="step",
+        period_ms=1.2,
+    ),
+}
+
+
+def get_schedule(name: str) -> FaultSchedule:
+    """Look up a schedule by name; raises ValueError listing known names."""
+    try:
+        return FAULT_SCHEDULES[name]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_SCHEDULES))
+        raise ValueError(f"unknown fault schedule {name!r} (known: {known})") from None

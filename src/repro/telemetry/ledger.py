@@ -33,7 +33,11 @@ from typing import Any, Iterable
 DEFAULT_LEDGER_DIR = ".repro-cache"
 LEDGER_FILENAME = "ledger.jsonl"
 QUARANTINE_DIR = "quarantine"
-LEDGER_SCHEMA_VERSION = 1
+#: Schema 2 added the ``context`` field (``adaptive.*``/``faults.*``
+#: counter totals).  Schema-1 records remain readable: ``context``
+#: defaults to empty, so ``repro report`` never crashes on old ledgers.
+LEDGER_SCHEMA_VERSION = 2
+READABLE_SCHEMA_VERSIONS = frozenset({1, 2})
 
 #: Golden schema: every record dict carries exactly these keys (tested).
 RECORD_FIELDS = (
@@ -54,6 +58,7 @@ RECORD_FIELDS = (
     "wall_seconds",
     "phase_seconds",
     "headline",
+    "context",
 )
 
 
@@ -83,6 +88,10 @@ class LedgerRecord:
     wall_seconds: float = 0.0
     phase_seconds: dict[str, float] = field(default_factory=dict)
     headline: dict[str, float] = field(default_factory=dict)
+    #: Secondary accounting (``adaptive.*`` recovery and ``faults.*``
+    #: injection totals from the reduced result); schema 2+, defaults
+    #: empty for records written before it existed.
+    context: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         payload = asdict(self)
@@ -107,8 +116,26 @@ def headline_metrics_of(result: Any) -> dict[str, float]:
     fn = getattr(result, "headline_metrics", None)
     if not callable(fn):
         return {}
+    return _sanitize_metrics(fn())
+
+
+def context_metrics_of(result: Any) -> dict[str, float]:
+    """``result.context_metrics()`` sanitized the same way (or ``{}``).
+
+    Context metrics carry secondary accounting — ``adaptive.*`` recovery
+    counters, ``faults.*`` injection totals — that belongs in the ledger
+    (``repro report`` renders a recovery column) but not in the headline
+    regression deltas.
+    """
+    fn = getattr(result, "context_metrics", None)
+    if not callable(fn):
+        return {}
+    return _sanitize_metrics(fn())
+
+
+def _sanitize_metrics(raw: dict) -> dict[str, float]:
     out: dict[str, float] = {}
-    for key, value in fn().items():
+    for key, value in raw.items():
         try:
             v = float(value)
         except (TypeError, ValueError):
@@ -148,6 +175,7 @@ def record_for_run(
         wall_seconds=getattr(metrics, "wall_seconds", 0.0),
         phase_seconds=dict(getattr(metrics, "phase_seconds", {}) or {}),
         headline=headline_metrics_of(result),
+        context=context_metrics_of(result),
     )
 
 
@@ -196,7 +224,7 @@ class RunLedger:
         checksum = wrapper.get("checksum")
         if not isinstance(payload, dict) or checksum != record_checksum(payload):
             return None
-        if payload.get("schema") != LEDGER_SCHEMA_VERSION:
+        if payload.get("schema") not in READABLE_SCHEMA_VERSIONS:
             return None
         if not isinstance(payload.get("experiment"), str):
             return None

@@ -147,10 +147,32 @@ def _matrix_rows(records: list[LedgerRecord]) -> list[str]:
     return rows
 
 
+def _recovery_cell(record: LedgerRecord) -> str:
+    """Summed ``adaptive.*`` recovery counters, or ``-`` when absent.
+
+    ``context`` arrived with ledger schema 2; ``getattr`` keeps the column
+    safe against records deserialized from older code paths.
+    """
+    context = getattr(record, "context", None) or {}
+    counters = {
+        key: value
+        for key, value in context.items()
+        if key.startswith("adaptive.") and key != "adaptive.confidence"
+    }
+    if not counters:
+        return "-"
+    total = int(sum(counters.values()))
+    confidence = context.get("adaptive.confidence")
+    if confidence is None:
+        return str(total)
+    return f"{total} ({confidence:.0%})"
+
+
 def _history_rows(records: list[LedgerRecord], last: int) -> list[str]:
     rows = [
-        "| when | kind | seed | jobs | backend | faults | wall (s) | flags | primary |",
-        "|---|---|---|---|---|---|---|---|---|",
+        "| when | kind | seed | jobs | backend | faults | wall (s) | flags "
+        "| recov | primary |",
+        "|---|---|---|---|---|---|---|---|---|---|",
     ]
     for record in records[-last:]:
         flags = []
@@ -163,7 +185,8 @@ def _history_rows(records: list[LedgerRecord], last: int) -> list[str]:
         rows.append(
             f"| {_when(record.timestamp)} | {record.kind} | {record.seed} "
             f"| {record.jobs} | {record.backend} | {record.faults} "
-            f"| {record.wall_seconds:.2f} | {' '.join(flags) or '-'} | {primary} |"
+            f"| {record.wall_seconds:.2f} | {' '.join(flags) or '-'} "
+            f"| {_recovery_cell(record)} | {primary} |"
         )
     return rows
 

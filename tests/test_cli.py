@@ -120,3 +120,46 @@ class TestParallelSmoke:
         out = capsys.readouterr().out
         assert "experiments ok" in out
         assert "FAILED" not in out
+
+
+class TestAdaptiveAndFaultFlags:
+    def _probe_registry(self, monkeypatch, seen):
+        class _Rows:
+            def format_rows(self):
+                return ["  probe ran"]
+
+        def probe(cfg, runner):
+            seen["adaptive"] = cfg.adaptive
+            seen["schedule"] = cfg.faults.schedule if cfg.faults else None
+            seen["scale"] = (
+                cfg.faults.probe_jitter_cycles if cfg.faults else None
+            )
+            return _Rows()
+
+        _tiny_registry(
+            monkeypatch,
+            probe=ExperimentDef("records config", params={}, run=probe),
+        )
+
+    def test_adaptive_flag_reaches_the_config(self, monkeypatch, capsys):
+        seen = {}
+        self._probe_registry(monkeypatch, seen)
+        assert main(["probe", "--no-cache"]) == 0
+        assert seen["adaptive"] is False
+        assert main(["probe", "--adaptive", "--no-cache"]) == 0
+        assert seen["adaptive"] is True
+
+    def test_fault_spec_scale_reaches_the_config(self, monkeypatch, capsys):
+        seen = {}
+        self._probe_registry(monkeypatch, seen)
+        assert main(["probe", "--faults", "drift@0.5", "--no-cache"]) == 0
+        assert seen["schedule"] == "drift"
+        base = 60  # the drift profile's probe_jitter_cycles
+        assert seen["scale"] == base // 2
+
+    def test_faults_list_names_schedules(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("drift", "step", "burst"):
+            assert name in out
+        assert "PROFILE@SCALE" in out

@@ -76,9 +76,9 @@ class TestFaultConfig:
 
 class TestProfiles:
     def test_known_profiles(self):
-        assert set(FAULT_PROFILES) == {"off", "light", "moderate", "heavy"}
+        assert set(FAULT_PROFILES) == {"off", "light", "moderate", "heavy", "drift"}
         assert not get_profile("off").active
-        for name in ("light", "moderate", "heavy"):
+        for name in ("light", "moderate", "heavy", "drift"):
             assert get_profile(name).active
 
     def test_unknown_profile_raises_with_names(self):

@@ -154,6 +154,28 @@ class TestQuarantine:
         ledger.path.write_text(line + "\n")
         assert RunLedger(tmp_path).records() == []
 
+    def test_schema_one_record_still_readable(self, tmp_path):
+        """Forward compat: pre-``context`` (schema 1) lines parse cleanly.
+
+        Records written before the adaptive-recovery fields existed carry
+        no ``context`` key; they must scan without quarantine and default
+        to an empty context rather than crash ``repro report``.
+        """
+        ledger = RunLedger(tmp_path)
+        payload = _record().to_dict()
+        payload["schema"] = 1
+        del payload["context"]
+        line = json.dumps(
+            {"record": payload, "checksum": record_checksum(payload)}
+        )
+        ledger.root.mkdir(parents=True, exist_ok=True)
+        ledger.path.write_text(line + "\n")
+        fresh = RunLedger(tmp_path)
+        records = fresh.records()
+        assert [r.experiment for r in records] == ["fig6"]
+        assert records[0].context == {}
+        assert fresh.stats.quarantined == 0
+
 
 class _ToyResult:
     """Module-level so the result cache can pickle it."""

@@ -142,6 +142,21 @@ class TestRenderReport:
         assert "**partial run**" in markdown
         assert "served from cache" in markdown
 
+    def test_recovery_column_sums_adaptive_context(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(_record())  # no adaptive context -> '-'
+        ledger.append(_record(context={
+            "adaptive.recalibrations": 2.0,
+            "adaptive.heals": 1.0,
+            "adaptive.confidence": 0.8,
+            "faults.injected": 40.0,  # not a recovery, must not be summed
+        }))
+        markdown = render_report(ledger).markdown
+        history = markdown.split("### History")[1]
+        assert "| recov |" in history
+        assert "| 3 (80%) |" in history
+        assert "| - |" in history
+
 
 class TestRenderHtml:
     def test_tables_and_headings_render(self, tmp_path):

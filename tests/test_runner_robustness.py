@@ -83,6 +83,31 @@ def _hang_at_shard(config, params, shard):
     return shard.seed
 
 
+def _drift_crash_at_shard(config, params, shard):
+    """Real drift-resilience cell, crashing hard at the listed indices."""
+    from repro.experiments.drift_resilience import _drift_shard
+
+    if shard.index in params["crash"]:
+        os._exit(37)
+    return _drift_shard(config, params, shard)
+
+
+def _drift_fingerprint(result) -> list:
+    return [
+        (
+            c.schedule,
+            c.backend,
+            c.adaptive,
+            c.error_rate,
+            c.symbols_decoded,
+            c.rekeys,
+            tuple(sorted(c.adaptive_totals.items())),
+            tuple(c.recoveries),
+        )
+        for c in result.cells
+    ]
+
+
 @pytest.fixture
 def config():
     return MachineConfig().scaled_down()
@@ -249,6 +274,75 @@ class TestRunnerDegradation:
         runner.run(self._spec(), config, _seed_shard, sorted)
         assert runner.history[-1].shards_resumed == 0
 
+    def test_checkpoint_resume_preserves_adaptive_recovery(self, tmp_path, config):
+        """Adaptive recovery decisions survive a crash/resume unchanged.
+
+        A drift-resilience run interrupted mid-grid and resumed from its
+        shard checkpoints must produce cells bit-identical to a clean
+        uninterrupted run — including every recovery event the adaptive
+        supervisor took (ROBUSTNESS.md's determinism contract).
+        """
+        from repro.experiments import run_drift_resilience
+        from repro.experiments.drift_resilience import (
+            MODES,
+            SCHEDULES,
+            DriftResilienceResult,
+            _drift_shard,
+        )
+
+        backends = ("keyed:epoch=6000",)
+        grid = [
+            (schedule, backend, adaptive)
+            for schedule in SCHEDULES
+            for backend in backends
+            for adaptive in MODES
+        ]
+        spec = TrialSpec(
+            "drift-resilience",
+            n_trials=len(grid),
+            trials_per_shard=1,
+            params={
+                "grid": grid,
+                "profile": "drift",
+                "n_symbols": 24,
+                "rate_pps": 400_000.0,
+                "wait_cycles": 30_000,
+                "huge_pages": 4,
+                "crash": [len(grid) - 1],
+            },
+        )
+
+        def reduce(shards):
+            return DriftResilienceResult(
+                cells=[cell for sub in shards for cell in sub]
+            )
+
+        cache = ResultCache(tmp_path / "cache")
+        crashed = ExperimentRunner(
+            jobs=2,
+            max_retries=0,
+            max_failed_shards=1,
+            cache=cache,
+            use_cache=True,
+            checkpoint=True,
+        )
+        crashed.run(spec, config, _drift_crash_at_shard, reduce)
+        assert crashed.history[-1].partial
+
+        resumed = ExperimentRunner(
+            jobs=1, cache=cache, use_cache=True, checkpoint=True
+        )
+        result = resumed.run(spec, config, _drift_shard, reduce)
+        assert resumed.history[-1].shards_resumed == len(grid) - 1
+        assert not resumed.history[-1].partial
+
+        clean = run_drift_resilience(
+            config,
+            backends=backends,
+            runner=ExperimentRunner(jobs=1, use_cache=False),
+        )
+        assert _drift_fingerprint(result) == _drift_fingerprint(clean)
+
 
 # ---------------------------------------------------------------------------
 # cache hardening: checksums + quarantine
@@ -363,9 +457,17 @@ class TestCliExitCodes:
     def test_unknown_experiment_is_usage_error(self, capsys):
         assert main(["definitely-not-an-experiment"]) == EXIT_USAGE
 
-    def test_unknown_fault_profile_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["fig5", "--faults", "nope", "--no-cache"])
+    def test_unknown_fault_profile_rejected(self, capsys):
+        assert main(["fig5", "--faults", "nope", "--no-cache"]) == EXIT_USAGE
+        assert "unknown fault profile" in capsys.readouterr().err
+
+    def test_malformed_fault_scale_rejected(self, capsys):
+        assert main(["fig5", "--faults", "drift@zoom", "--no-cache"]) == EXIT_USAGE
+        assert "malformed fault scale" in capsys.readouterr().err
+
+    def test_negative_fault_scale_rejected(self, capsys):
+        assert main(["fig5", "--faults", "light@-1", "--no-cache"]) == EXIT_USAGE
+        assert "scale" in capsys.readouterr().err
 
     def test_partial_run_exits_partial(self, monkeypatch, capsys):
         monkeypatch.setitem(
