@@ -20,6 +20,7 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.bench import (  # noqa: E402  (path setup first)
+    bench_analysis,
     bench_backend_overhead,
     bench_engine_sweeps,
     bench_fig6,
@@ -32,6 +33,7 @@ from repro.bench import (  # noqa: E402  (path setup first)
 )
 
 __all__ = [
+    "bench_analysis",
     "bench_backend_overhead",
     "bench_engine_sweeps",
     "bench_fig6",

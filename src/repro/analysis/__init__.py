@@ -14,7 +14,11 @@
 """
 
 from repro.analysis.capacity import ChannelReport, evaluate_channel
-from repro.analysis.correlation import CorrelationClassifier, cross_correlation
+from repro.analysis.correlation import (
+    CorrelationClassifier,
+    cross_correlation,
+    cross_correlation_many,
+)
 from repro.analysis.levenshtein import (
     cyclic_levenshtein,
     error_rate,
@@ -22,13 +26,21 @@ from repro.analysis.levenshtein import (
     longest_mismatch_run,
 )
 from repro.analysis.lfsr import LFSR, lfsr_bits, lfsr_symbols
-from repro.analysis.stats import confidence_interval, mean, percentile, percentiles, stddev
+from repro.analysis.stats import (
+    confidence_interval,
+    mean,
+    percentile,
+    percentile_rank,
+    percentiles,
+    stddev,
+)
 
 __all__ = [
     "ChannelReport",
     "evaluate_channel",
     "CorrelationClassifier",
     "cross_correlation",
+    "cross_correlation_many",
     "levenshtein",
     "cyclic_levenshtein",
     "error_rate",
@@ -39,6 +51,7 @@ __all__ = [
     "confidence_interval",
     "mean",
     "percentile",
+    "percentile_rank",
     "percentiles",
     "stddev",
 ]

@@ -1,0 +1,296 @@
+"""Frozen scalar analysis pipeline — the pre-columnar reference.
+
+These are the pure-Python implementations that shipped before the
+analysis layer was vectorised, kept verbatim (same loops, same tie
+breaking, same floating-point operation order) as the ground truth for
+the differential harnesses in ``tests/test_analysis_equivalence.py``.
+The live modules (:mod:`repro.analysis.levenshtein`,
+:mod:`repro.analysis.correlation`, :mod:`repro.analysis.lfsr`) must stay
+bit-identical to these on every integer-valued output and within
+last-ulp noise on batched float scores; see the tests for the exact
+contract.  Do not "improve" this file — its value is that it never
+changes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+# ----------------------------------------------------------------------
+# Edit distance family (frozen from repro.analysis.levenshtein)
+# ----------------------------------------------------------------------
+
+
+def levenshtein(a: Sequence, b: Sequence) -> int:
+    """Classic two-row dynamic program, scalar inner loop."""
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, item_a in enumerate(a, start=1):
+        current = [i]
+        for j, item_b in enumerate(b, start=1):
+            cost = 0 if item_a == item_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion
+                    current[j - 1] + 1,  # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def cyclic_levenshtein(recovered: Sequence, truth: Sequence) -> int:
+    """Rotation-minimised edit distance, anchored on ``recovered[0]``."""
+    if not truth:
+        return len(recovered)
+    best = None
+    doubled = list(truth) + list(truth)
+    n = len(truth)
+    anchors = [i for i in range(n) if doubled[i] == recovered[0]] if recovered else [0]
+    if not anchors:
+        anchors = range(n)
+    for start in anchors:
+        rotated = doubled[start : start + n]
+        distance = levenshtein(recovered, rotated)
+        if best is None or distance < best:
+            best = distance
+            if best == 0:
+                break
+    return best if best is not None else len(recovered)
+
+
+def best_rotation(recovered: Sequence, truth: Sequence) -> list:
+    """Rotation of ``truth`` minimising edit distance (first wins ties)."""
+    if not truth:
+        return []
+    doubled = list(truth) + list(truth)
+    n = len(truth)
+    best_distance, best_start = None, 0
+    anchors = [i for i in range(n) if recovered and doubled[i] == recovered[0]]
+    for start in anchors or range(n):
+        distance = levenshtein(recovered, doubled[start : start + n])
+        if best_distance is None or distance < best_distance:
+            best_distance, best_start = distance, start
+            if distance == 0:
+                break
+    return doubled[best_start : best_start + n]
+
+
+def edit_breakdown(sent: Sequence, received: Sequence) -> tuple[int, int, int]:
+    """``(substitutions, insertions, deletions)`` from one minimum edit
+    script; ties prefer the diagonal, then deletion."""
+    n, m = len(sent), len(received)
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        dp[i][0] = i
+    for j in range(m + 1):
+        dp[0][j] = j
+    for i in range(1, n + 1):
+        row = dp[i]
+        prev = dp[i - 1]
+        si = sent[i - 1]
+        for j in range(1, m + 1):
+            cost = 0 if si == received[j - 1] else 1
+            row[j] = min(prev[j] + 1, row[j - 1] + 1, prev[j - 1] + cost)
+    substitutions = insertions = deletions = 0
+    i, j = n, m
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            cost = 0 if sent[i - 1] == received[j - 1] else 1
+            if dp[i][j] == dp[i - 1][j - 1] + cost:
+                substitutions += cost
+                i -= 1
+                j -= 1
+                continue
+        if i > 0 and dp[i][j] == dp[i - 1][j] + 1:
+            deletions += 1
+            i -= 1
+        else:
+            insertions += 1
+            j -= 1
+    return substitutions, insertions, deletions
+
+
+def longest_mismatch_run(recovered: Sequence, truth: Sequence) -> int:
+    """Longest run of mismatching alignment columns (Table I)."""
+    n, m = len(recovered), len(truth)
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        dp[i][0] = i
+    for j in range(m + 1):
+        dp[0][j] = j
+    for i in range(1, n + 1):
+        row = dp[i]
+        prev = dp[i - 1]
+        ai = recovered[i - 1]
+        for j in range(1, m + 1):
+            cost = 0 if ai == truth[j - 1] else 1
+            row[j] = min(prev[j] + 1, row[j - 1] + 1, prev[j - 1] + cost)
+    flags: list[bool] = []
+    i, j = n, m
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            cost = 0 if recovered[i - 1] == truth[j - 1] else 1
+            if dp[i][j] == dp[i - 1][j - 1] + cost:
+                flags.append(cost == 1)
+                i -= 1
+                j -= 1
+                continue
+        if i > 0 and dp[i][j] == dp[i - 1][j] + 1:
+            flags.append(True)
+            i -= 1
+        else:
+            flags.append(True)
+            j -= 1
+    longest = current = 0
+    for mismatched in flags:
+        current = current + 1 if mismatched else 0
+        longest = max(longest, current)
+    return longest
+
+
+# ----------------------------------------------------------------------
+# Cross-correlation classifier (frozen from repro.analysis.correlation)
+# ----------------------------------------------------------------------
+
+
+def cross_correlation(a: Sequence[float], b: Sequence[float], max_lag: int = 8) -> float:
+    """Peak normalised cross-correlation, one ``np.dot`` per lag."""
+    x = np.asarray(a, dtype=float)
+    y = np.asarray(b, dtype=float)
+    n = min(len(x), len(y))
+    if n == 0:
+        return 0.0
+    x = x[:n] - x[:n].mean()
+    y = y[:n] - y[:n].mean()
+    denom = np.linalg.norm(x) * np.linalg.norm(y)
+    if denom == 0:
+        return 0.0
+    best = 0.0
+    for lag in range(-max_lag, max_lag + 1):
+        if lag >= 0:
+            xs, ys = x[lag:], y[: n - lag]
+        else:
+            xs, ys = x[: n + lag], y[-lag:]
+        if len(xs) == 0:
+            continue
+        value = float(np.dot(xs, ys)) / denom
+        best = max(best, value)
+    return best
+
+
+class CorrelationClassifier:
+    """One ``cross_correlation`` call per (trace, representative) pair."""
+
+    def __init__(self, trace_length: int = 100, max_lag: int = 8) -> None:
+        if trace_length <= 0:
+            raise ValueError(f"trace_length must be positive, got {trace_length}")
+        self.trace_length = trace_length
+        self.max_lag = max_lag
+        self.representatives: dict[str, np.ndarray] = {}
+
+    def _pad(self, trace: Sequence[float]) -> np.ndarray:
+        out = np.zeros(self.trace_length, dtype=float)
+        n = min(len(trace), self.trace_length)
+        out[:n] = np.asarray(trace[:n], dtype=float)
+        return out
+
+    def fit(self, training: dict[str, list[Sequence[float]]]) -> None:
+        if not training:
+            raise ValueError("no training data")
+        self.representatives = {}
+        for label, traces in training.items():
+            if not traces:
+                raise ValueError(f"label {label!r} has no training traces")
+            stacked = np.stack([self._pad(t) for t in traces])
+            self.representatives[label] = stacked.mean(axis=0)
+
+    def scores(self, trace: Sequence[float]) -> dict[str, float]:
+        if not self.representatives:
+            raise RuntimeError("classifier not fitted")
+        padded = self._pad(trace)
+        return {
+            label: cross_correlation(padded, rep, self.max_lag)
+            for label, rep in self.representatives.items()
+        }
+
+    def classify(self, trace: Sequence[float]) -> str:
+        scored = self.scores(trace)
+        return max(scored, key=scored.get)
+
+    def accuracy(self, labelled_traces: list[tuple[str, Sequence[float]]]) -> float:
+        if not labelled_traces:
+            raise ValueError("no traces to score")
+        correct = sum(
+            1 for label, trace in labelled_traces if self.classify(trace) == label
+        )
+        return correct / len(labelled_traces)
+
+
+# ----------------------------------------------------------------------
+# LFSR (frozen from repro.analysis.lfsr)
+# ----------------------------------------------------------------------
+
+_MAXIMAL_TAPS = {4: 3, 7: 6, 15: 14, 16: 15}
+
+
+class LFSR:
+    """Fibonacci LFSR stepped one bit per Python call."""
+
+    def __init__(self, width: int = 15, seed: int = 0x5A5A) -> None:
+        if width not in _MAXIMAL_TAPS:
+            raise ValueError(
+                f"no maximal polynomial configured for width {width}; "
+                f"available: {sorted(_MAXIMAL_TAPS)}"
+            )
+        self.width = width
+        self.mask = (1 << width) - 1
+        seed &= self.mask
+        if seed == 0:
+            raise ValueError("LFSR seed must be non-zero")
+        self.state = seed
+        self._tap = _MAXIMAL_TAPS[width]
+
+    @property
+    def period(self) -> int:
+        return self.mask
+
+    def next_bit(self) -> int:
+        new_bit = ((self.state >> (self.width - 1)) ^ (self.state >> (self._tap - 1))) & 1
+        self.state = ((self.state << 1) | new_bit) & self.mask
+        return new_bit
+
+    def bits(self, count: int) -> list[int]:
+        return [self.next_bit() for _ in range(count)]
+
+
+def lfsr_bits(count: int, width: int = 15, seed: int = 0x5A5A) -> list[int]:
+    return LFSR(width=width, seed=seed).bits(count)
+
+
+def lfsr_symbols(count: int, alphabet: int, width: int = 15, seed: int = 0x5A5A) -> list[int]:
+    """Rejection-sampled symbols, ``bits_per`` bits consumed per attempt."""
+    if alphabet < 2:
+        raise ValueError(f"alphabet must be >= 2, got {alphabet}")
+    bits_per = max(1, (alphabet - 1).bit_length())
+    lfsr = LFSR(width=width, seed=seed)
+    symbols: list[int] = []
+    while len(symbols) < count:
+        value = 0
+        for _ in range(bits_per):
+            value = (value << 1) | lfsr.next_bit()
+        if value < alphabet:
+            symbols.append(value)
+    return symbols
+
+
+def bit_iter(width: int = 15, seed: int = 0x5A5A) -> Iterator[int]:
+    lfsr = LFSR(width=width, seed=seed)
+    while True:
+        yield lfsr.next_bit()

@@ -5,38 +5,123 @@ sequence against the instrumented ground truth, and Section IV estimates the
 covert channel's error rate by the edit distance between sent and received
 pseudo-random sequences.  ``cyclic_levenshtein`` handles the fact that a
 recovered *ring* has an arbitrary starting point.
+
+The dynamic programs here run row-vectorised in NumPy: elements are first
+encoded to integer codes, each DP row is produced with two array minimums,
+and the sequential insertion recurrence ``d[j] = min(d[j], d[j-1] + 1)``
+collapses to a prefix minimum of ``d[j] - j`` (subtracting the column index
+turns the +1-per-step chain into a running minimum).  Integer arithmetic
+throughout, so results are bit-identical to the frozen scalar DP in
+:mod:`repro.analysis.legacy` — ``tests/test_analysis_equivalence.py`` pins
+that equivalence on randomized inputs.  ``cyclic_levenshtein`` and
+``best_rotation`` batch *all* candidate rotations through one DP whose rows
+carry a rotation axis.  Unhashable elements (no integer encoding) fall back
+to the scalar reference.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
+from repro.analysis import legacy as _legacy
+
+#: Below this DP area the Python loop beats NumPy's per-row overhead.
+_SCALAR_AREA_CUTOFF = 256
+
+
+def _encode(a: Sequence, b: Sequence) -> tuple[np.ndarray, np.ndarray] | None:
+    """Map elements of both sequences to shared integer codes.
+
+    Equality of codes must match ``==`` on the originals, which holds for
+    any consistently-hashable elements; returns None when an element is
+    unhashable (caller falls back to the scalar DP).
+    """
+    table: dict = {}
+    try:
+        ca = np.fromiter(
+            (table.setdefault(x, len(table)) for x in a), np.int64, count=len(a)
+        )
+        cb = np.fromiter(
+            (table.setdefault(x, len(table)) for x in b), np.int64, count=len(b)
+        )
+    except TypeError:
+        return None
+    return ca, cb
+
+
+def _row_distance(ca: np.ndarray, cb: np.ndarray) -> int:
+    """Rolling-row vectorised DP over encoded sequences (both non-empty)."""
+    m = len(cb)
+    ar = np.arange(m + 1, dtype=np.int64)
+    prev = ar.copy()
+    cur = np.empty(m + 1, dtype=np.int64)
+    for i in range(1, len(ca) + 1):
+        cost = (cb != ca[i - 1]).astype(np.int64)
+        cur[0] = i
+        np.minimum(prev[1:] + 1, prev[:-1] + cost, out=cur[1:])
+        np.subtract(cur, ar, out=cur)
+        np.minimum.accumulate(cur, out=cur)
+        np.add(cur, ar, out=cur)
+        prev, cur = cur, prev
+    return int(prev[-1])
+
 
 def levenshtein(a: Sequence, b: Sequence) -> int:
     """Minimum number of single-element insertions, deletions and
     substitutions that turn ``a`` into ``b``.
 
-    Classic dynamic program with two rolling rows: O(len(a) * len(b)) time,
-    O(min) space.
+    O(len(a) * len(b)) time, O(min) space; the inner DP row is a NumPy
+    kernel for large inputs and the classic scalar loop below the
+    crossover point (identical results either way).
     """
     if len(a) < len(b):
         a, b = b, a
     if not b:
         return len(a)
-    previous = list(range(len(b) + 1))
-    for i, item_a in enumerate(a, start=1):
-        current = [i]
-        for j, item_b in enumerate(b, start=1):
-            cost = 0 if item_a == item_b else 1
-            current.append(
-                min(
-                    previous[j] + 1,  # deletion
-                    current[j - 1] + 1,  # insertion
-                    previous[j - 1] + cost,  # substitution
-                )
-            )
-        previous = current
-    return previous[-1]
+    if len(a) * len(b) <= _SCALAR_AREA_CUTOFF:
+        return _legacy.levenshtein(a, b)
+    encoded = _encode(a, b)
+    if encoded is None:
+        return _legacy.levenshtein(a, b)
+    return _row_distance(*encoded)
+
+
+def _rotation_distances(
+    recovered: Sequence, doubled: list, starts: Sequence[int], n: int
+) -> np.ndarray | None:
+    """Edit distance of ``recovered`` against every ``doubled[s : s + n]``,
+    all rotations sharing one DP whose rows have a rotation axis."""
+    encoded = _encode(recovered, doubled)
+    if encoded is None:
+        return None
+    rec, dbl = encoded
+    starts_arr = np.asarray(list(starts), dtype=np.int64)
+    rots = dbl[starts_arr[:, None] + np.arange(n, dtype=np.int64)[None, :]]
+    nrot = len(starts_arr)
+    ar = np.arange(n + 1, dtype=np.int64)
+    prev = np.tile(ar, (nrot, 1))
+    cur = np.empty_like(prev)
+    for i in range(1, len(rec) + 1):
+        cost = (rots != rec[i - 1]).astype(np.int64)
+        cur[:, 0] = i
+        np.minimum(prev[:, 1:] + 1, prev[:, :-1] + cost, out=cur[:, 1:])
+        np.subtract(cur, ar, out=cur)
+        np.minimum.accumulate(cur, axis=1, out=cur)
+        np.add(cur, ar, out=cur)
+        prev, cur = cur, prev
+    return prev[:, -1]
+
+
+def _anchored_starts(recovered: Sequence, doubled: list, n: int) -> list[int]:
+    """Rotation start offsets to try, anchored on ``recovered[0]``."""
+    anchors = (
+        [i for i in range(n) if doubled[i] == recovered[0]] if recovered else [0]
+    )
+    if not anchors:
+        anchors = list(range(n))
+    return anchors
 
 
 def cyclic_levenshtein(recovered: Sequence, truth: Sequence) -> int:
@@ -46,45 +131,39 @@ def cyclic_levenshtein(recovered: Sequence, truth: Sequence) -> int:
 
     The recovered sequence starts at an arbitrary node (Algorithm 1 begins
     its traversal at a random node), so we rotate the truth to the best
-    alignment before scoring.
+    alignment before scoring.  All candidate rotations run through one
+    batched DP.
     """
     if not truth:
         return len(recovered)
-    best = None
     doubled = list(truth) + list(truth)
     n = len(truth)
-    # Anchor on the first recovered element to limit rotations tried.
-    anchors = [i for i in range(n) if doubled[i] == recovered[0]] if recovered else [0]
-    if not anchors:
-        anchors = range(n)
-    for start in anchors:
-        rotated = doubled[start : start + n]
-        distance = levenshtein(recovered, rotated)
-        if best is None or distance < best:
-            best = distance
-            if best == 0:
-                break
-    return best if best is not None else len(recovered)
+    anchors = _anchored_starts(recovered, doubled, n)
+    if not recovered:
+        return n
+    distances = _rotation_distances(recovered, doubled, anchors, n)
+    if distances is None:
+        return _legacy.cyclic_levenshtein(recovered, truth)
+    return int(distances.min())
 
 
 def best_rotation(recovered: Sequence, truth: Sequence) -> list:
     """Rotate ``truth`` to the alignment with minimum edit distance.
 
     Useful before positional metrics (like mismatch runs) since the
-    recovered ring starts at an arbitrary node.
+    recovered ring starts at an arbitrary node.  Ties keep the earliest
+    anchor, matching the scalar reference's first-strictly-better scan.
     """
     if not truth:
         return []
     doubled = list(truth) + list(truth)
     n = len(truth)
-    best_distance, best_start = None, 0
     anchors = [i for i in range(n) if recovered and doubled[i] == recovered[0]]
-    for start in anchors or range(n):
-        distance = levenshtein(recovered, doubled[start : start + n])
-        if best_distance is None or distance < best_distance:
-            best_distance, best_start = distance, start
-            if distance == 0:
-                break
+    starts = anchors or list(range(n))
+    distances = _rotation_distances(recovered, doubled, starts, n)
+    if distances is None:
+        return _legacy.best_rotation(recovered, truth)
+    best_start = starts[int(np.argmin(distances))]
     return doubled[best_start : best_start + n]
 
 
@@ -97,6 +176,23 @@ def error_rate(recovered: Sequence, truth: Sequence, cyclic: bool = False) -> fl
     return distance / len(truth)
 
 
+def _full_dp(ca: np.ndarray, cb: np.ndarray) -> np.ndarray:
+    """The complete (n+1, m+1) DP table, rows filled vectorised."""
+    n, m = len(ca), len(cb)
+    dp = np.empty((n + 1, m + 1), dtype=np.int64)
+    ar = np.arange(m + 1, dtype=np.int64)
+    dp[0] = ar
+    for i in range(1, n + 1):
+        cost = (cb != ca[i - 1]).astype(np.int64)
+        row = dp[i]
+        row[0] = i
+        np.minimum(dp[i - 1, 1:] + 1, dp[i - 1, :-1] + cost, out=row[1:])
+        np.subtract(row, ar, out=row)
+        np.minimum.accumulate(row, out=row)
+        np.add(row, ar, out=row)
+    return dp
+
+
 def edit_breakdown(sent: Sequence, received: Sequence) -> tuple[int, int, int]:
     """``(substitutions, insertions, deletions)`` turning ``sent`` into
     ``received``, from one minimum edit script.
@@ -105,32 +201,27 @@ def edit_breakdown(sent: Sequence, received: Sequence) -> tuple[int, int, int]:
     traceback just attributes the minimum distance to error classes, which
     is how the covert channel separates bit flips (substitutions) from
     sync slips (a missed symbol is a deletion, a spurious probe hit is an
-    insertion).  Ties prefer the diagonal, then deletion.
+    insertion).  Ties prefer the diagonal, then deletion.  The DP table
+    fills vectorised; the O(n + m) traceback stays scalar and reads the
+    same table values as the frozen reference, so the attribution is
+    bit-identical.
     """
-    n, m = len(sent), len(received)
-    dp = [[0] * (m + 1) for _ in range(n + 1)]
-    for i in range(n + 1):
-        dp[i][0] = i
-    for j in range(m + 1):
-        dp[0][j] = j
-    for i in range(1, n + 1):
-        row = dp[i]
-        prev = dp[i - 1]
-        si = sent[i - 1]
-        for j in range(1, m + 1):
-            cost = 0 if si == received[j - 1] else 1
-            row[j] = min(prev[j] + 1, row[j - 1] + 1, prev[j - 1] + cost)
+    encoded = _encode(sent, received)
+    if encoded is None:
+        return _legacy.edit_breakdown(sent, received)
+    ca, cb = encoded
+    dp = _full_dp(ca, cb)
     substitutions = insertions = deletions = 0
-    i, j = n, m
+    i, j = len(ca), len(cb)
     while i > 0 or j > 0:
         if i > 0 and j > 0:
-            cost = 0 if sent[i - 1] == received[j - 1] else 1
-            if dp[i][j] == dp[i - 1][j - 1] + cost:
+            cost = 0 if ca[i - 1] == cb[j - 1] else 1
+            if dp[i, j] == dp[i - 1, j - 1] + cost:
                 substitutions += cost
                 i -= 1
                 j -= 1
                 continue
-        if i > 0 and dp[i][j] == dp[i - 1][j] + 1:
+        if i > 0 and dp[i, j] == dp[i - 1, j] + 1:
             deletions += 1  # sent symbol never showed up
             i -= 1
         else:
@@ -147,32 +238,22 @@ def longest_mismatch_run(recovered: Sequence, truth: Sequence) -> int:
     are counted over the alignment, with insertions/deletions counting as
     mismatching positions.
     """
-    n, m = len(recovered), len(truth)
-    # Full DP table for traceback (sequences here are ring-sized, ~256).
-    dp = [[0] * (m + 1) for _ in range(n + 1)]
-    for i in range(n + 1):
-        dp[i][0] = i
-    for j in range(m + 1):
-        dp[0][j] = j
-    for i in range(1, n + 1):
-        row = dp[i]
-        prev = dp[i - 1]
-        ai = recovered[i - 1]
-        for j in range(1, m + 1):
-            cost = 0 if ai == truth[j - 1] else 1
-            row[j] = min(prev[j] + 1, row[j - 1] + 1, prev[j - 1] + cost)
-    # Traceback, collecting match/mismatch flags.
+    encoded = _encode(recovered, truth)
+    if encoded is None:
+        return _legacy.longest_mismatch_run(recovered, truth)
+    ca, cb = encoded
+    dp = _full_dp(ca, cb)
     flags: list[bool] = []  # True = mismatch at this alignment column
-    i, j = n, m
+    i, j = len(ca), len(cb)
     while i > 0 or j > 0:
         if i > 0 and j > 0:
-            cost = 0 if recovered[i - 1] == truth[j - 1] else 1
-            if dp[i][j] == dp[i - 1][j - 1] + cost:
+            cost = 0 if ca[i - 1] == cb[j - 1] else 1
+            if dp[i, j] == dp[i - 1, j - 1] + cost:
                 flags.append(cost == 1)
                 i -= 1
                 j -= 1
                 continue
-        if i > 0 and dp[i][j] == dp[i - 1][j] + 1:
+        if i > 0 and dp[i, j] == dp[i - 1, j] + 1:
             flags.append(True)
             i -= 1
         else:

@@ -41,17 +41,35 @@ def confidence_interval(
     return mu, mu - half, mu + half
 
 
+def percentile_rank(n: int, p: float) -> float:
+    """The repo-wide percentile rank rule: over ``n`` observations the
+    percentile ``p`` targets (1-based, fractional) rank ``p / 100 * n``.
+
+    Both percentile implementations route through this one rule and
+    differ only in how they realise a fractional rank: discrete-sample
+    consumers (:func:`percentile` here) take the ``ceil(rank)``-th
+    smallest observation (nearest-rank, always a real sample), while
+    binned consumers (``telemetry.metrics.Histogram.percentile``) have
+    lost the samples and interpolate linearly to ``rank`` inside the
+    bucket containing it.  ``tests/test_analysis.py`` cross-checks the
+    two against each other on shared data.
+
+    Validates ``p`` and raises ValueError outside [0, 100].
+    """
+    if not 0 <= p <= 100:
+        raise ValueError(f"p must be in [0, 100], got {p}")
+    return p / 100 * n
+
+
 def percentile(values: Sequence[float], p: float) -> float:
     """Nearest-rank percentile, ``p`` in [0, 100]."""
     if not values:
         raise ValueError("percentile of empty sequence")
-    if not 0 <= p <= 100:
-        raise ValueError(f"p must be in [0, 100], got {p}")
     ordered = sorted(values)
+    rank = percentile_rank(len(ordered), p)
     if p == 0:
         return ordered[0]
-    rank = math.ceil(p / 100 * len(ordered))
-    return ordered[min(rank, len(ordered)) - 1]
+    return ordered[min(math.ceil(rank), len(ordered)) - 1]
 
 
 def percentiles(values: Sequence[float], points: Sequence[float]) -> dict[float, float]:
@@ -61,11 +79,9 @@ def percentiles(values: Sequence[float], points: Sequence[float]) -> dict[float,
     ordered = sorted(values)
     out: dict[float, float] = {}
     for p in points:
-        if not 0 <= p <= 100:
-            raise ValueError(f"p must be in [0, 100], got {p}")
+        rank = percentile_rank(len(ordered), p)
         if p == 0:
             out[p] = ordered[0]
         else:
-            rank = math.ceil(p / 100 * len(ordered))
-            out[p] = ordered[min(rank, len(ordered)) - 1]
+            out[p] = ordered[min(math.ceil(rank), len(ordered)) - 1]
     return out

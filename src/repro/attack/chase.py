@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.attack.evictionset import EvictionSet
+from repro.attack.primeprobe import SetSweep
 from repro.telemetry.quality import quality_registry, record_chase
 
 
@@ -29,6 +32,18 @@ class BufferMonitor:
     name: str
     blocks: dict[int, EvictionSet]
     alt_blocks: dict[int, EvictionSet] = field(default_factory=dict)
+    #: Lazily-built batched sweeps: the clock probe (block 0 of both
+    #: halves) and the size probe (non-zero blocks of both halves) each
+    #: go out as one machine call instead of one per set.
+    _clock_sweep: SetSweep | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _size_sweep: SetSweep | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _size_splits: tuple[np.ndarray, ...] = field(
+        default=(), init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if 0 not in self.blocks:
@@ -42,30 +57,45 @@ class BufferMonitor:
 
     def clock_active(self) -> bool:
         """Probe block 0 of both halves; True if either saw a miss."""
-        active = self.blocks[0].probe() > 0
-        if 0 in self.alt_blocks:
-            active = (self.alt_blocks[0].probe() > 0) or active
-        return active
+        if self._clock_sweep is None:
+            sets = [self.blocks[0]]
+            if 0 in self.alt_blocks:
+                sets.append(self.alt_blocks[0])
+            self._clock_sweep = SetSweep(self.blocks[0].process, sets)
+        return bool((self._clock_sweep.probe() > 0).any())
 
     def read_size(self, cap: int = 4) -> int:
         """Packet size in blocks (1..cap), read from whichever half fired.
 
         Block 1 is ignored for sizing (the driver prefetches it for every
         packet), so sizes are 1, 3, 4... distinguished by blocks 2 and 3 —
-        matching what the paper's spy can actually resolve.
+        matching what the paper's spy can actually resolve.  Per half the
+        size is the largest fired block number + 1, exactly what the
+        scalar ascending-probe loop left behind.
         """
+        if self._size_sweep is None:
+            halves = [self.blocks]
+            if self.alt_blocks:
+                halves.append(self.alt_blocks)
+            sets: list[EvictionSet] = []
+            splits = []
+            for half in halves:
+                ks = [k for k in sorted(half) if k != 0]
+                sets.extend(half[k] for k in ks)
+                splits.append(np.asarray(ks, dtype=np.int64))
+            self._size_splits = tuple(splits)
+            self._size_sweep = SetSweep(self.blocks[0].process, sets) if sets else None
+            if not sets:
+                self._size_splits = ()
         size = 1
-        halves = [self.blocks]
-        if self.alt_blocks:
-            halves.append(self.alt_blocks)
-        for half in halves:
-            half_size = 1
-            for k in sorted(half):
-                if k == 0:
-                    continue
-                if half[k].probe() > 0:
-                    half_size = k + 1
-            size = max(size, half_size)
+        if self._size_sweep is not None:
+            fired = self._size_sweep.probe() > 0
+            offset = 0
+            for ks in self._size_splits:
+                hit = ks[fired[offset : offset + ks.size]]
+                if hit.size:
+                    size = max(size, int(hit[-1]) + 1)
+                offset += ks.size
         return min(size, cap)
 
 

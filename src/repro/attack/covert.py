@@ -21,9 +21,12 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.analysis.capacity import ChannelReport, evaluate_channel
 from repro.attack.chase import PacketChaser
 from repro.attack.evictionset import EvictionSet
+from repro.attack.primeprobe import SetSweep
 from repro.net.traffic import PatternStream
 
 #: Frame size (bytes) per symbol, by alphabet size.
@@ -169,6 +172,13 @@ class CovertReceiver:
             for stream in self.streams:
                 supervisor.track(*stream.sets())
 
+    def _sweep(self) -> SetSweep:
+        """One batched probe covering every stream's clock/b2/b3 sets, in
+        the exact per-stream order the scalar loop probed them."""
+        return SetSweep(
+            self.process, [es for stream in self.streams for es in stream.sets()]
+        )
+
     def listen(
         self,
         n_symbols: int,
@@ -176,15 +186,26 @@ class CovertReceiver:
         max_samples: int | None = None,
         alphabet: int = 2,
     ) -> list[DecodedSymbol]:
-        """Probe until ``n_symbols`` are decoded (or the sample budget ends)."""
+        """Probe until ``n_symbols`` are decoded (or the sample budget ends).
+
+        Each sample is one batched :class:`SetSweep` probe over all
+        ``3 * n_streams`` monitored sets (cycle- and telemetry-identical
+        to the historical per-set probe loop), and the per-stream window
+        state machine advances as array operations; the decode order —
+        stream index ascending within a sample — matches the scalar loop,
+        pinned against ``legacy_decode_activity`` in
+        ``tests/test_analysis_equivalence.py``.
+        """
         machine = self.process.machine
         for stream in self.streams:
             for es in stream.sets():
                 es.prime()
+        sweep = self._sweep()
         # Per-stream open windows: remaining samples, accumulated activity.
-        countdown = [0] * len(self.streams)
-        b2_seen = [False] * len(self.streams)
-        b3_seen = [False] * len(self.streams)
+        n_streams = len(self.streams)
+        countdown = np.zeros(n_streams, dtype=np.int64)
+        b2_seen = np.zeros(n_streams, dtype=bool)
+        b3_seen = np.zeros(n_streams, dtype=bool)
         decoded: list[DecodedSymbol] = []
         budget = max_samples if max_samples is not None else 50 * n_symbols + 1000
         for _ in range(budget):
@@ -193,42 +214,35 @@ class CovertReceiver:
             if wait_cycles:
                 machine.idle(wait_cycles)
             now = machine.clock.now
-            fired = 0
-            for k, stream in enumerate(self.streams):
-                clock_active = stream.clock.probe() > 0
-                b2 = stream.block2.probe() > 0
-                b3 = stream.block3.probe() > 0
-                fired += clock_active + b2 + b3
-                if countdown[k] > 0:
-                    b2_seen[k] = b2_seen[k] or b2
-                    b3_seen[k] = b3_seen[k] or b3
-                    countdown[k] -= 1
-                    if countdown[k] == 0:
-                        decoded.append(
-                            DecodedSymbol(
-                                time=now,
-                                stream=k,
-                                symbol=symbol_from_blocks(
-                                    b2_seen[k], b3_seen[k], alphabet
-                                ),
-                            )
-                        )
-                elif clock_active:
-                    countdown[k] = self.window - 1
-                    b2_seen[k] = b2
-                    b3_seen[k] = b3
-                    if countdown[k] == 0:
-                        decoded.append(
-                            DecodedSymbol(
-                                time=now,
-                                stream=k,
-                                symbol=symbol_from_blocks(b2, b3, alphabet),
-                            )
-                        )
+            active = sweep.probe() > 0
+            clock = active[0::3]
+            b2 = active[1::3]
+            b3 = active[2::3]
+            open_window = countdown > 0
+            b2_seen |= open_window & b2
+            b3_seen |= open_window & b3
+            countdown[open_window] -= 1
+            closing = open_window & (countdown == 0)
+            opening = ~open_window & clock
+            countdown[opening] = self.window - 1
+            b2_seen[opening] = b2[opening]
+            b3_seen[opening] = b3[opening]
+            decode = closing | opening if self.window == 1 else closing
+            for k in np.nonzero(decode)[0]:
+                decoded.append(
+                    DecodedSymbol(
+                        time=now,
+                        stream=int(k),
+                        symbol=symbol_from_blocks(
+                            bool(b2_seen[k]), bool(b3_seen[k]), alphabet
+                        ),
+                    )
+                )
             if self.supervisor is not None:
-                event = self.supervisor.observe(fired, 3 * len(self.streams))
+                event = self.supervisor.observe(int(active.sum()), 3 * n_streams)
                 if event is not None:
                     self._relock(event, countdown, b2_seen, b3_seen)
+                    sweep = self._sweep()
         decoded.sort(key=lambda d: d.time)
         return decoded
 
@@ -240,10 +254,9 @@ class CovertReceiver:
             self.supervisor.untrack_all()
             for stream in self.streams:
                 self.supervisor.track(*stream.sets())
-        for k in range(len(countdown)):
-            countdown[k] = 0
-            b2_seen[k] = False
-            b3_seen[k] = False
+        countdown[:] = 0
+        b2_seen[:] = False
+        b3_seen[:] = False
         for stream in self.streams:
             for es in stream.sets():
                 es.prime()

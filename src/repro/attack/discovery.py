@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.attack.evictionset import EvictionSet
 from repro.attack.primeprobe import ProbeMonitor, SampleTrace
 
@@ -123,20 +125,13 @@ class RingDiscovery:
             raise ValueError("no candidates supplied")
         monitor = ProbeMonitor(self.process, [buffer_block0] + candidates)
         trace = monitor.sample(n_samples, wait_cycles)
-        co_counts = [0] * len(candidates)
-        totals = [0] * len(candidates)
-        for row in trace.samples:
-            clock_active = row[0] > 0
-            for j in range(len(candidates)):
-                if row[1 + j]:
-                    totals[j] += 1
-                    if clock_active:
-                        co_counts[j] += 1
+        active = trace.samples > 0
+        clock_active = active[:, :1]
+        totals = active[:, 1:].sum(axis=0, dtype=np.int64)
+        co_counts = (active[:, 1:] & clock_active).sum(axis=0, dtype=np.int64)
         # Score: co-occurrence with a penalty for uncorrelated activity, so
-        # a busy unrelated set does not win by volume alone.
-        best, best_score = 0, float("-inf")
-        for j in range(len(candidates)):
-            score = 2 * co_counts[j] - totals[j]
-            if score > best_score:
-                best, best_score = j, score
-        return candidates[best]
+        # a busy unrelated set does not win by volume alone.  argmax keeps
+        # the first of tied maxima, matching the scalar strictly-greater
+        # scan it replaces (pinned in tests/test_analysis_equivalence.py).
+        scores = 2 * co_counts - totals
+        return candidates[int(np.argmax(scores))]

@@ -103,17 +103,26 @@ class WebFingerprintAttack:
         return self.classifier.classify(trace)
 
     def evaluate(self, trials_per_site: int = 4) -> float:
-        """Closed-world accuracy over ``trials_per_site`` loads per site."""
+        """Closed-world accuracy over ``trials_per_site`` loads per site.
+
+        Captures happen in the same profile-major order as before (the
+        machine state evolves identically); classification is pure, so all
+        trials are scored in one batched ``classify_many`` call over a
+        single score matrix instead of one classifier pass per capture.
+        """
         if not self._trained:
             raise RuntimeError("attack not trained; call train() first")
-        correct = 0
-        total = 0
+        captures: list[list[int]] = []
+        truth: list[str] = []
         for profile in self.corpus:
             for _ in range(trials_per_site):
-                total += 1
-                if self.classify_one(profile.name) == profile.name:
-                    correct += 1
-        return correct / total if total else 0.0
+                captures.append(self._capture_site(profile))
+                truth.append(profile.name)
+        if not captures:
+            return 0.0
+        predicted = self.classifier.classify_many(captures)
+        correct = sum(1 for p, t in zip(predicted, truth) if p == t)
+        return correct / len(truth)
 
 
 def recovered_vs_original(

@@ -1,0 +1,159 @@
+"""Frozen scalar attack-analysis pipeline — the pre-columnar reference.
+
+Verbatim copies of the pure-Python loops that consumed
+``SampleTrace.samples`` as ``list[list[int]]`` before the trace went
+columnar: the sequencer's successor-graph build and greedy walk
+(Algorithm 1 steps 2-3), the discovery layer's block-set co-occurrence
+scoring, the covert receiver's per-sample window-decode state machine,
+and the per-set activity summaries.  They are the ground truth for
+``tests/test_analysis_equivalence.py`` — every live vectorised
+counterpart must reproduce these outputs bit for bit, including dict
+insertion order (which decides tie-breaking in ``max``) and append
+order.  Do not modify this file; its value is that it never changes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def legacy_build_graph(
+    samples: Sequence[Sequence[int]], miss_threshold: int
+) -> dict[tuple[int, int], dict[int, int]]:
+    """graph[(prev, curr)][cand] = transition count, one node of history."""
+    graph: dict[tuple[int, int], dict[int, int]] = {}
+    prev = curr = 0
+    for row in samples:
+        for cand, misses in enumerate(row):
+            if misses < miss_threshold:
+                continue
+            if curr != prev:  # no self-loop context
+                edge = graph.setdefault((prev, curr), {})
+                edge[cand] = edge.get(cand, 0) + 1
+            prev, curr = curr, cand
+    return graph
+
+
+def legacy_get_root(graph: dict[tuple[int, int], dict[int, int]]) -> tuple[int, int]:
+    """Heaviest edge; insertion order breaks ties (first edge wins)."""
+    best_edge, best_weight = None, -1
+    for edge, successors in graph.items():
+        weight = max(successors.values(), default=0)
+        if weight > best_weight:
+            best_edge, best_weight = edge, weight
+    if best_edge is None:
+        raise RuntimeError("empty transition graph: no activity observed")
+    return best_edge
+
+
+def legacy_make_sequence(
+    graph: dict[tuple[int, int], dict[int, int]],
+    n_groups: int,
+    weight_cutoff: int,
+) -> list[int]:
+    """Greedy heaviest-successor walk; mutates ``graph`` (visited -> 0)."""
+    root = legacy_get_root(graph)
+    prev, curr = root
+    sequence: list[int] = []
+    max_steps = 8 * n_groups
+    for _ in range(max_steps):
+        sequence.append(curr)
+        successors = graph.get((prev, curr), {})
+        if not successors:
+            break
+        nxt = max(successors, key=successors.get)
+        weight = successors[nxt]
+        if weight < weight_cutoff:
+            break
+        successors[nxt] = 0  # mark visited
+        prev, curr = curr, nxt
+        if (prev, curr) == root:
+            break
+    return sequence
+
+
+def legacy_block_scores(
+    samples: Sequence[Sequence[int]], n_candidates: int
+) -> list[int]:
+    """Per-candidate ``2 * co_occurrence - total_activity`` score, where
+    row[0] is the buffer's block-0 (clock) set and rows 1.. are the slice
+    candidates."""
+    co_counts = [0] * n_candidates
+    totals = [0] * n_candidates
+    for row in samples:
+        clock_active = row[0] > 0
+        for j in range(n_candidates):
+            if row[1 + j]:
+                totals[j] += 1
+                if clock_active:
+                    co_counts[j] += 1
+    return [2 * co_counts[j] - totals[j] for j in range(n_candidates)]
+
+
+def legacy_decode_activity(
+    clock_rows: Sequence[Sequence[bool]],
+    b2_rows: Sequence[Sequence[bool]],
+    b3_rows: Sequence[Sequence[bool]],
+    times: Sequence[int],
+    window: int,
+    alphabet: int,
+    n_symbols: int,
+) -> list[tuple[int, int, int]]:
+    """The covert receiver's window state machine over recorded activity.
+
+    Rows are sample-major, one bool per monitored stream.  Returns
+    ``(time, stream, symbol)`` tuples in the exact order the legacy
+    ``CovertReceiver.listen`` loop appended them (the n_symbols budget is
+    checked at the top of each sample, so the final sample may decode
+    past the target, exactly as the live loop does).
+    """
+    from repro.attack.covert import symbol_from_blocks
+
+    n_streams = len(clock_rows[0]) if clock_rows else 0
+    countdown = [0] * n_streams
+    b2_seen = [False] * n_streams
+    b3_seen = [False] * n_streams
+    decoded: list[tuple[int, int, int]] = []
+    for i in range(len(clock_rows)):
+        if len(decoded) >= n_symbols:
+            break
+        now = times[i]
+        for k in range(n_streams):
+            clock_active = clock_rows[i][k]
+            b2 = b2_rows[i][k]
+            b3 = b3_rows[i][k]
+            if countdown[k] > 0:
+                b2_seen[k] = b2_seen[k] or b2
+                b3_seen[k] = b3_seen[k] or b3
+                countdown[k] -= 1
+                if countdown[k] == 0:
+                    decoded.append(
+                        (now, k, symbol_from_blocks(b2_seen[k], b3_seen[k], alphabet))
+                    )
+            elif clock_active:
+                countdown[k] = window - 1
+                b2_seen[k] = b2
+                b3_seen[k] = b3
+                if countdown[k] == 0:
+                    decoded.append((now, k, symbol_from_blocks(b2, b3, alphabet)))
+    return decoded
+
+
+def legacy_activity_counts(samples: Sequence[Sequence[int]], n_sets: int) -> list[int]:
+    """Per-set count of samples with at least one miss."""
+    counts = [0] * n_sets
+    for row in samples:
+        for j, misses in enumerate(row):
+            if misses > 0:
+                counts[j] += 1
+    return counts
+
+
+def legacy_activity_fraction(
+    samples: Sequence[Sequence[int]], n_sets: int
+) -> list[float]:
+    """Per-set fraction of active samples."""
+    if not samples:
+        return [0.0] * n_sets
+    counts = legacy_activity_counts(samples, n_sets)
+    return [c / len(samples) for c in counts]

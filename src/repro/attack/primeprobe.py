@@ -13,49 +13,159 @@ machine call over the concatenation of every monitored set's traversal:
 :meth:`Machine.cpu_access_many` preserves per-access event and clock
 semantics, so the combined sweep is cycle-identical to the historical
 per-line Python loop while running an order of magnitude faster.
+
+The trace itself is **columnar**: :class:`SampleTrace` holds one packed
+``(n_samples, n_sets)`` int64 matrix plus an int64 times vector, filled
+in place by the sweep loop (no per-sweep Python lists), and every
+downstream consumer — sequencer graph build, discovery co-occurrence,
+covert decode, activity summaries — operates on it with array kernels.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.attack.evictionset import EvictionSet
-from repro.telemetry.quality import ProbeSweepAccumulator, quality_registry
+from repro.telemetry.quality import (
+    ProbeSweepAccumulator,
+    quality_registry,
+    record_probe_latencies,
+)
 
 
 @dataclass
 class SampleTrace:
-    """Result of a monitoring session."""
+    """Result of a monitoring session, stored columnar.
 
-    #: samples[i][j] = misses observed in probe i on monitored set j.
-    samples: list[list[int]]
+    ``samples`` is a packed ``(n_samples, n_sets)`` int64 matrix —
+    ``samples[i, j]`` = misses observed in probe i on monitored set j —
+    and ``times`` an int64 vector of sweep-start times.  The constructor
+    still accepts plain (possibly nested) lists and packs them once;
+    activity summaries are computed once and cached.
+    """
+
+    #: samples[i, j] = misses observed in probe i on monitored set j.
+    samples: np.ndarray
     #: Simulated time at the start of each probe sweep.
-    times: list[int]
+    times: np.ndarray
     set_labels: list[str]
+    _counts: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _fractions: list[float] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=np.int64)
+        if samples.ndim != 2:
+            if samples.size:
+                raise ValueError(f"samples must be 2-D, got shape {samples.shape}")
+            samples = samples.reshape(0, len(self.set_labels))
+        self.samples = samples
+        self.times = np.asarray(self.times, dtype=np.int64)
 
     @property
     def n_samples(self) -> int:
-        return len(self.samples)
+        return self.samples.shape[0]
 
     @property
     def n_sets(self) -> int:
         return len(self.set_labels)
 
     def activity_counts(self) -> list[int]:
-        """Per-set count of samples with at least one miss."""
-        if not self.samples:
-            return [0] * self.n_sets
-        matrix = np.asarray(self.samples, dtype=np.int64)
-        return [int(c) for c in (matrix > 0).sum(axis=0)]
+        """Per-set count of samples with at least one miss (cached)."""
+        if self._counts is None:
+            if self.samples.shape[0]:
+                self._counts = (self.samples > 0).sum(axis=0, dtype=np.int64)
+            else:
+                self._counts = np.zeros(self.n_sets, dtype=np.int64)
+        return [int(c) for c in self._counts]
 
     def activity_fraction(self) -> list[float]:
-        """Per-set fraction of active samples."""
-        if not self.samples:
-            return [0.0] * self.n_sets
-        matrix = np.asarray(self.samples, dtype=np.int64)
-        return [float(f) for f in (matrix > 0).mean(axis=0)]
+        """Per-set fraction of active samples (cached)."""
+        if self._fractions is None:
+            counts = self.activity_counts()
+            n = self.samples.shape[0] if self.samples is not None else 0
+            if not n:
+                self._fractions = [0.0] * self.n_sets
+            else:
+                self._fractions = [c / n for c in counts]
+        return self._fractions
+
+
+class SetSweep:
+    """One batched timed probe over a fixed list of eviction sets.
+
+    The concatenation of every set's zig-zag traversal goes out as a
+    single :meth:`Machine.cpu_access_many` call — access order, event
+    timing and the clock are identical to calling ``es.probe()`` per set
+    — and the telemetry :meth:`EvictionSet.probe` would have recorded
+    per set is recorded once for the batch (histograms and counters are
+    order-independent sums of the same integer latencies, so registry
+    state is bit-identical).  Used by the covert receiver and the packet
+    chaser, whose probe groups are small and fixed per decision.
+    """
+
+    def __init__(self, process, sets: list[EvictionSet]) -> None:
+        if not sets:
+            raise ValueError("sweep over an empty set list")
+        self.process = process
+        self.sets = list(sets)
+        self._cache: dict[bytes, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._offsets: np.ndarray | None = None
+        self._thresholds: np.ndarray | None = None
+
+    def _arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        key = bytes(es.version & 1 for es in self.sets)
+        cached = self._cache.get(key)
+        if cached is None:
+            decomps = [es.decomp() for es in self.sets]
+            cached = (
+                np.concatenate([es.probe_order_paddrs() for es in self.sets]),
+                np.concatenate([f[::-1] for f, _l in decomps]),
+                np.concatenate([l[::-1] for _f, l in decomps]),
+            )
+            if len(self._cache) >= 4:
+                self._cache.clear()
+            self._cache[key] = cached
+        if self._offsets is None:
+            lens = np.fromiter(
+                (len(es) for es in self.sets), np.int64, count=len(self.sets)
+            )
+            self._offsets = np.concatenate(([0], np.cumsum(lens)[:-1]))
+            self._thresholds = np.repeat(
+                np.fromiter(
+                    (es.threshold.threshold for es in self.sets),
+                    np.float64,
+                    count=len(self.sets),
+                ),
+                lens,
+            )
+        return cached
+
+    def probe(self) -> np.ndarray:
+        """Timed zig-zag sweep; returns per-set miss counts (int64)."""
+        machine = self.process.machine
+        combined, flats, lines = self._arrays()
+        lats = machine.cpu_access_many(combined, timed=True, decomp=(flats, lines))
+        miss_mask = lats > self._thresholds
+        counts = np.add.reduceat(miss_mask.astype(np.int64), self._offsets)
+        for es in self.sets:
+            es.flip()
+        tele = machine.telemetry
+        if tele is not None and tele.metrics.enabled:
+            tele.metrics.histogram("probe.latency_cycles").observe_many(lats)
+            tele.metrics.counter("probe.accesses").inc(len(combined))
+            total_misses = int(miss_mask.sum())
+            if total_misses:
+                tele.metrics.counter("probe.misses").inc(total_misses)
+            registry = quality_registry(tele)
+            if registry is not None:
+                record_probe_latencies(registry, lats, self._thresholds)
+        return counts
 
 
 class ProbeMonitor:
@@ -158,21 +268,20 @@ class ProbeMonitor:
         for es in self.sets:
             es.prime()
 
-    def _probe_sweep(self) -> list[int]:
+    def _probe_sweep(self) -> np.ndarray:
         """One timed sweep over every monitored set as a single batched call.
 
         Accesses are issued in exactly the order the per-set
         ``es.probe()`` loop would issue them (set 0's reversed traversal,
         then set 1's, ...), so events, the clock and every latency are
-        unchanged — only the Python-loop overhead is gone.
+        unchanged — only the Python-loop overhead is gone.  Returns the
+        per-set miss counts as an int64 row.
         """
         machine = self.process.machine
         combined, flats, lines = self._sweep_arrays()
         lats = machine.cpu_access_many(combined, timed=True, decomp=(flats, lines))
         miss_mask = lats > self._thresholds
-        row = [
-            int(m) for m in np.add.reduceat(miss_mask.astype(np.int64), self._offsets)
-        ]
+        row = np.add.reduceat(miss_mask.astype(np.int64), self._offsets)
         for es in self.sets:
             es.flip()
         tele = machine.telemetry
@@ -192,7 +301,7 @@ class ProbeMonitor:
                 acc.add(lats, miss_mask, total_misses)
         return row
 
-    def _fast_sweep(self) -> list[int]:
+    def _fast_sweep(self) -> np.ndarray:
         """One aggregate-latency sweep, batched across every set.
 
         The sequential loop advances ``measure_overhead`` after each set's
@@ -214,7 +323,9 @@ class ProbeMonitor:
         if llc.partition is not None or (
             nxt is not None and nxt - machine.clock.now <= worst
         ):
-            return [es.probe_fast() for es in self.sets]
+            return np.fromiter(
+                (es.probe_fast() for es in self.sets), np.int64, count=n_sets
+            )
         lats = machine.cpu_access_many(combined, decomp=(flats, lines))
         for es in self.sets:
             es.flip()
@@ -224,14 +335,14 @@ class ProbeMonitor:
         est = np.round(
             (totals - baselines) / (timing.llc_miss_latency - timing.llc_hit_latency)
         ).astype(np.int64)
-        return [int(v) for v in np.maximum(est, 0)]
+        return np.maximum(est, 0)
 
     def probe_once(self) -> list[int]:
         """One sweep over all monitored sets; returns per-set miss counts."""
         row = self._probe_sweep()
         if self._quality_acc is not None:
             self._quality_acc.flush()
-        return row
+        return [int(v) for v in row]
 
     def sample(
         self,
@@ -243,6 +354,10 @@ class ProbeMonitor:
 
         ``fast_probe`` uses aggregate-latency probing (one timer read per
         set instead of per access), roughly tripling the probe rate.
+
+        The trace matrix is preallocated and each sweep's miss-count row
+        is written in place — no per-sweep Python lists anywhere on the
+        path from probe to analysis.
         """
         if n_samples <= 0:
             raise ValueError(f"n_samples must be positive, got {n_samples}")
@@ -250,12 +365,12 @@ class ProbeMonitor:
         tele = machine.telemetry
         traced = tele is not None and tele.tracer.enabled
         self.prime()
-        samples: list[list[int]] = []
-        times: list[int] = []
+        samples = np.empty((n_samples, len(self.sets)), dtype=np.int64)
+        times = np.empty(n_samples, dtype=np.int64)
         for i in range(n_samples):
             if wait_cycles:
                 machine.idle(wait_cycles)
-            times.append(machine.clock.now)
+            times[i] = machine.clock.now
             if traced:
                 with tele.tracer.span(
                     "probe",
@@ -267,18 +382,15 @@ class ProbeMonitor:
                     else:
                         row = self._probe_sweep()
                 tele.tracer.counter(
-                    "probe.misses", {"misses": sum(row)}, cat="attack"
+                    "probe.misses", {"misses": int(row.sum())}, cat="attack"
                 )
-                samples.append(row)
             elif fast_probe:
-                samples.append(self._fast_sweep())
+                row = self._fast_sweep()
             else:
-                samples.append(self._probe_sweep())
+                row = self._probe_sweep()
+            samples[i] = row
             if self.supervisor is not None:
-                row = samples[-1]
-                event = self.supervisor.observe(
-                    sum(1 for v in row if v > 0), len(row)
-                )
+                event = self.supervisor.observe(int((row > 0).sum()), row.size)
                 if event is not None:
                     self._apply_recovery(event)
         if tele is not None and tele.metrics.enabled:

@@ -27,9 +27,99 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from repro.attack.evictionset import EvictionSet
 from repro.attack.primeprobe import ProbeMonitor, SampleTrace
 from repro.telemetry.quality import quality_registry, record_sequence_recovery
+
+
+def transition_graph(
+    matrix: np.ndarray, miss_threshold: int
+) -> dict[tuple[int, int], dict[int, int]]:
+    """BUILD_GRAPH over a columnar sample matrix, vectorised.
+
+    The scalar reference walks the activity events in row-major order
+    carrying one node of history and counts each ``(prev, curr) -> cand``
+    triple where ``curr != prev``.  Row-major ``np.nonzero`` yields that
+    same event stream, so the triples are three shifted views of it; the
+    counting collapses to one ``np.unique`` over integer-encoded triples.
+    The returned dict reproduces the reference's insertion order exactly
+    (edges and successors appear at their first triple occurrence), which
+    is what breaks ties in the greedy walk — pinned against
+    ``legacy_build_graph`` in ``tests/test_analysis_equivalence.py``.
+    """
+    matrix = np.asarray(matrix, dtype=np.int64)
+    if matrix.ndim != 2 or matrix.shape[1] == 0:
+        return {}
+    events = np.nonzero(matrix >= miss_threshold)[1]
+    n_events = events.size
+    if n_events == 0:
+        return {}
+    # The walk starts from prev = curr = 0: event k sees
+    # curr = events[k-1] (or 0) and prev = events[k-2] (or 0).
+    currs = np.empty(n_events, dtype=np.int64)
+    prevs = np.zeros(n_events, dtype=np.int64)
+    currs[0] = 0
+    currs[1:] = events[:-1]
+    prevs[2:] = events[:-2]
+    keep = currs != prevs  # no self-loop context
+    if not keep.any():
+        return {}
+    n_sets = matrix.shape[1]
+    codes = (prevs[keep] * n_sets + currs[keep]) * n_sets + events[keep]
+    uniq, first_seen, counts = np.unique(
+        codes, return_index=True, return_counts=True
+    )
+    graph: dict[tuple[int, int], dict[int, int]] = {}
+    for u in np.argsort(first_seen, kind="stable"):
+        code = int(uniq[u])
+        cand = code % n_sets
+        rest = code // n_sets
+        edge = (int(rest // n_sets), int(rest % n_sets))
+        graph.setdefault(edge, {})[cand] = int(counts[u])
+    return graph
+
+
+def greedy_sequence(
+    graph: dict[tuple[int, int], dict[int, int]],
+    root: tuple[int, int],
+    max_steps: int,
+    weight_cutoff: int,
+) -> list[int]:
+    """MAKE_SEQUENCE's greedy walk on dense per-edge weight arrays.
+
+    Each edge's successor dict becomes a pair of (candidate, weight)
+    arrays in insertion order, so the heaviest-successor choice is one
+    ``argmax`` whose first-of-ties semantics match ``max(d, key=d.get)``
+    on the dict.  Visited successors are zeroed in the local arrays —
+    the input graph is left unmodified (the reference zeroed entries in
+    the shared dict, but no caller reads the post-walk weights).
+    """
+    arrays = {
+        edge: (
+            np.fromiter(succ, np.int64, count=len(succ)),
+            np.fromiter(succ.values(), np.int64, count=len(succ)),
+        )
+        for edge, succ in graph.items()
+    }
+    prev, curr = root
+    sequence: list[int] = []
+    for _ in range(max_steps):
+        sequence.append(curr)
+        entry = arrays.get((prev, curr))
+        if entry is None or entry[0].size == 0:
+            break
+        cands, weights = entry
+        pick = int(np.argmax(weights))
+        weight = int(weights[pick])
+        if weight < weight_cutoff:
+            break
+        weights[pick] = 0  # mark visited
+        prev, curr = curr, int(cands[pick])
+        if (prev, curr) == root:
+            break
+    return sequence
 
 
 @dataclass
@@ -114,18 +204,7 @@ class Sequencer:
     # ------------------------------------------------------------------
     def build_graph(self, trace: SampleTrace) -> dict[tuple[int, int], dict[int, int]]:
         """graph[(prev, curr)][cand] = observed transition count."""
-        cfg = self.config
-        graph: dict[tuple[int, int], dict[int, int]] = {}
-        prev = curr = 0
-        for row in trace.samples:
-            for cand, misses in enumerate(row):
-                if misses < cfg.miss_threshold:
-                    continue
-                if curr != prev:  # no self-loop context
-                    edge = graph.setdefault((prev, curr), {})
-                    edge[cand] = edge.get(cand, 0) + 1
-                prev, curr = curr, cand
-        return graph
+        return transition_graph(trace.samples, self.config.miss_threshold)
 
     # ------------------------------------------------------------------
     # Step 3: greedy traversal
@@ -144,25 +223,10 @@ class Sequencer:
 
     def make_sequence(self, graph: dict[tuple[int, int], dict[int, int]]) -> list[int]:
         """Walk the graph from the root until returning to it."""
-        cfg = self.config
         root = self._get_root(graph)
-        prev, curr = root
-        sequence: list[int] = []
-        max_steps = 8 * len(self.groups)
-        for _ in range(max_steps):
-            sequence.append(curr)
-            successors = graph.get((prev, curr), {})
-            if not successors:
-                break
-            nxt = max(successors, key=successors.get)
-            weight = successors[nxt]
-            if weight < cfg.weight_cutoff:
-                break
-            successors[nxt] = 0  # mark visited
-            prev, curr = curr, nxt
-            if (prev, curr) == root:
-                break
-        return sequence
+        return greedy_sequence(
+            graph, root, 8 * len(self.groups), self.config.weight_cutoff
+        )
 
     def recover(self) -> tuple[list[int], SampleTrace]:
         """Full pipeline: samples -> graph -> sequence of group indices.

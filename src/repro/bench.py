@@ -20,13 +20,18 @@ Measures, on the bench-scale machine (256 monitored sets x 12 ways):
   over the modulo sweep from the same run (informational, not gated:
   the keyed permutation rounds and skewed partition selection are real
   per-access work the modulo fast path legitimately skips);
+* ``analysis_speedup``    — the columnar analysis pipeline (sequencer
+  graph build + greedy walk, cyclic Levenshtein, batched correlation
+  classification) vs the frozen scalar reference
+  (:mod:`repro.analysis.legacy` / :mod:`repro.attack.legacy_analysis`),
+  reported as a geometric mean of the three per-stage ratios;
 * ``fig6_seconds``        — end-to-end ``repro run fig6`` (100 driver
   inits through the sharded runner, serial).
 
-The headline numbers are ``sweep_speedup`` = legacy / engine sweep time
-and ``rx_speedup`` = legacy / batched rx datapath time: *ratios of two
-measurements from the same run*, so they are comparable across machines
-and CI runners.  ``--check BASELINE.json`` fails (exit 1) when a current
+The headline numbers are ``sweep_speedup`` = legacy / engine sweep time,
+``rx_speedup`` = legacy / batched rx datapath time, and
+``analysis_speedup`` as above: *ratios of two measurements from the same
+run*, so they are comparable across machines and CI runners.  ``--check BASELINE.json`` fails (exit 1) when a current
 ratio falls more than ``--tolerance`` (default 20%) below the committed
 baseline's — i.e. when a hot path got slower relative to its unchanging
 legacy reference.
@@ -253,6 +258,137 @@ def bench_backend_overhead(rounds: int) -> dict:
     }
 
 
+def _bench_pair(fn, legacy_fn, rounds: int) -> tuple[float, float]:
+    """(vectorised_ms, legacy_ms) per call, same inputs both sides."""
+    fn()  # warm (numpy one-time init, allocator)
+    legacy_fn()
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    vec_ms = (time.perf_counter() - t0) / rounds * 1e3
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        legacy_fn()
+    leg_ms = (time.perf_counter() - t0) / rounds * 1e3
+    return vec_ms, leg_ms
+
+
+def bench_analysis(rounds: int) -> dict:
+    """Columnar analysis pipeline vs the frozen scalar reference.
+
+    Three stages, each on synthetic inputs shaped like the real attack's
+    (bit-identical outputs are pinned separately in
+    ``tests/test_analysis_equivalence.py``; this only times them):
+
+    * sequencer — successor-graph build + greedy walk over a 4000x32
+      sample matrix (``transition_graph``/``greedy_sequence`` vs
+      ``legacy_build_graph``/``legacy_make_sequence``);
+    * levenshtein — ``cyclic_levenshtein`` between two 256-symbol rings
+      (NumPy rolling-row DP vs the frozen scalar table);
+    * correlation — classifier scoring of 100 captured traces against 5
+      site representatives (one score matrix vs a per-trace scalar loop).
+
+    ``analysis_speedup`` is the geometric mean of the three legacy/new
+    ratios, gated in CI like ``sweep_speedup``/``rx_speedup``.
+    """
+    import numpy as np
+
+    from repro.analysis.correlation import CorrelationClassifier
+    from repro.analysis.legacy import (
+        CorrelationClassifier as LegacyClassifier,
+    )
+    from repro.analysis.legacy import cyclic_levenshtein as legacy_cyclic
+    from repro.analysis.levenshtein import cyclic_levenshtein
+    from repro.attack.legacy_analysis import (
+        legacy_build_graph,
+        legacy_make_sequence,
+    )
+    from repro.attack.sequencer import (
+        Sequencer,
+        greedy_sequence,
+        transition_graph,
+    )
+
+    rng = random.Random(11)
+    rounds = max(rounds // 5, 3)  # each analysis round is heavier than a sweep
+
+    # -- sequencer ----------------------------------------------------
+    n_samples, n_sets = 4000, 32
+    matrix = np.zeros((n_samples, n_sets), dtype=np.int64)
+    pos = 0
+    for i in range(n_samples):  # a noisy ring walk, like a real scan
+        if rng.random() < 0.8:
+            pos = (pos + 1) % n_sets
+        matrix[i, pos] = 2
+        if rng.random() < 0.1:
+            matrix[i, rng.randrange(n_sets)] = 2
+    samples_list = [list(map(int, row)) for row in matrix]
+
+    def _seq():
+        graph = transition_graph(matrix, miss_threshold=1)
+        root = Sequencer._get_root(graph)
+        return greedy_sequence(graph, root, 8 * n_sets, weight_cutoff=2)
+
+    def _seq_legacy():
+        graph = legacy_build_graph(samples_list, miss_threshold=1)
+        return legacy_make_sequence(graph, n_sets, weight_cutoff=2)
+
+    seq_ms, seq_legacy_ms = _bench_pair(_seq, _seq_legacy, rounds)
+
+    # -- levenshtein --------------------------------------------------
+    ring = [rng.randrange(256) for _ in range(256)]
+    recovered = ring[37:] + ring[:37]
+    for i in range(0, len(recovered), 9):  # sprinkle edit errors
+        recovered[i] = rng.randrange(256)
+
+    lev_ms, lev_legacy_ms = _bench_pair(
+        lambda: cyclic_levenshtein(recovered, ring),
+        lambda: legacy_cyclic(recovered, ring),
+        rounds,
+    )
+
+    # -- correlation classifier --------------------------------------
+    trace_length, n_sites, n_trials = 100, 5, 100
+    reps = {
+        f"site{s}": [float(rng.randrange(1, 5)) for _ in range(trace_length)]
+        for s in range(n_sites)
+    }
+    traces = [
+        [rng.randrange(1, 5) for _ in range(trace_length)] for _ in range(n_trials)
+    ]
+    clf = CorrelationClassifier(trace_length=trace_length, max_lag=8)
+    clf.representatives = dict(reps)
+    legacy_clf = LegacyClassifier(trace_length=trace_length, max_lag=8)
+    legacy_clf.representatives = dict(reps)
+
+    corr_ms, corr_legacy_ms = _bench_pair(
+        lambda: clf.classify_many(traces),
+        lambda: [legacy_clf.classify(t) for t in traces],
+        rounds,
+    )
+
+    ratios = [
+        seq_legacy_ms / seq_ms,
+        lev_legacy_ms / lev_ms,
+        corr_legacy_ms / corr_ms,
+    ]
+    geomean = float(np.exp(np.mean(np.log(ratios))))
+    return {
+        "analysis": {
+            "sequencer_ms": round(seq_ms, 4),
+            "legacy_sequencer_ms": round(seq_legacy_ms, 4),
+            "sequencer_speedup": round(ratios[0], 2),
+            "levenshtein_ms": round(lev_ms, 4),
+            "legacy_levenshtein_ms": round(lev_legacy_ms, 4),
+            "levenshtein_speedup": round(ratios[1], 2),
+            "correlation_ms": round(corr_ms, 4),
+            "legacy_correlation_ms": round(corr_legacy_ms, 4),
+            "correlation_speedup": round(ratios[2], 2),
+        },
+        "analysis_speedup": round(geomean, 2),
+    }
+
+
 def bench_init(config: MachineConfig, rounds: int = 3) -> tuple[float, float]:
     t0 = time.perf_counter()
     for _ in range(rounds):
@@ -303,6 +439,7 @@ def run_benchmarks(rounds: int, skip_fig6: bool, rx_frames: int = 4000) -> dict:
     }
     result.update(bench_rx(rx_frames))
     result.update(bench_backend_overhead(rounds))
+    result.update(bench_analysis(rounds))
     if not skip_fig6:
         result["fig6_seconds"] = round(bench_fig6(), 2)
     return result
@@ -310,7 +447,7 @@ def run_benchmarks(rounds: int, skip_fig6: bool, rx_frames: int = 4000) -> dict:
 
 #: Ratio metrics gated by ``--check``: each must stay within tolerance of
 #: the committed baseline (ratios transfer across runners; absolutes don't).
-GATED_RATIOS = ("sweep_speedup", "rx_speedup")
+GATED_RATIOS = ("sweep_speedup", "rx_speedup", "analysis_speedup")
 
 
 def check_against(result: dict, baseline: dict, tolerance: float) -> int:
@@ -343,6 +480,7 @@ def check_against(result: dict, baseline: dict, tolerance: float) -> int:
 BENCH_HEADLINE_KEYS = (
     "sweep_speedup",
     "rx_speedup",
+    "analysis_speedup",
     "probe_sweep_ms",
     "fast_sweep_ms",
     "legacy_sweep_ms",

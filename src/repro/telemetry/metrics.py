@@ -112,16 +112,20 @@ class Histogram:
     def percentile(self, q: float) -> float:
         """Bucket-interpolated percentile estimate, ``q`` in [0, 100].
 
-        Ranks are interpolated linearly inside the bucket that contains the
-        target rank; the first bucket's lower edge is the observed minimum
-        and the overflow bucket's upper edge is the observed maximum, so
-        estimates never leave the observed value range.
+        The target rank comes from the shared rule in
+        :func:`repro.analysis.stats.percentile_rank` (the same one the
+        discrete nearest-rank ``stats.percentile`` realises); here the
+        samples are gone, so ranks are interpolated linearly inside the
+        bucket that contains the target rank.  The first bucket's lower
+        edge is the observed minimum and the overflow bucket's upper edge
+        is the observed maximum, so estimates never leave the observed
+        value range.
         """
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100]: {q}")
+        from repro.analysis.stats import percentile_rank
+
+        target = percentile_rank(self.count, q)
         if self.count == 0 or self.min is None or self.max is None:
             return 0.0
-        target = (q / 100.0) * self.count
         cumulative = 0
         for i, n in enumerate(self.counts):
             if not n:

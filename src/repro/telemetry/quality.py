@@ -323,8 +323,16 @@ class ProbeSweepAccumulator:
 
 
 def record_probe_latencies(registry: MetricsRegistry, lats, threshold) -> None:
-    """Margin-only variant for scalar-threshold probes (covert receiver)."""
-    margins = np.abs(np.asarray(lats, dtype=np.float64) - float(threshold))
+    """Margin-only variant for single probes and batched set sweeps.
+
+    ``threshold`` is a scalar (one set's probe) or a per-access float
+    vector aligned with ``lats`` (a :class:`~repro.attack.primeprobe.SetSweep`
+    over sets with differing thresholds); the recorded margins are
+    identical either way.
+    """
+    margins = np.abs(
+        np.asarray(lats, dtype=np.float64) - np.asarray(threshold, dtype=np.float64)
+    )
     registry.histogram(
         "quality.probe.margin_cycles", MARGIN_CYCLES_BUCKETS
     ).observe_many(margins)

@@ -299,7 +299,7 @@ class TestAttackDegradation:
         )
         sequence, trace = sequencer.recover()  # no traffic: nothing observed
         assert sequence == []
-        assert trace.samples
+        assert trace.n_samples
 
     def test_calibration_rejects_bad_arguments(self):
         from repro.attack.timing import calibrate_threshold
